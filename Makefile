@@ -1,0 +1,38 @@
+# Convenience targets for the quake reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test race bench repro examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/par/ ./internal/spark/
+
+# Regenerates every table/figure into results/ and records the raw
+# benchmark log (the EXPERIMENTS.md pipeline).
+bench:
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# One-shot figure regeneration without the benchmark harness.
+repro:
+	$(GO) run ./cmd/quakerepro -scenarios sf10,sf5,sf2
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/waveprop
+	$(GO) run ./examples/netdesign
+	$(GO) run ./examples/partitionstudy
+	$(GO) run ./examples/implicit
+
+clean:
+	rm -rf results bench_output.txt test_output.txt

@@ -1,0 +1,267 @@
+package quake
+
+import (
+	"repro/internal/comm"
+	"repro/internal/fem"
+	"repro/internal/geom"
+	"repro/internal/machine"
+	"repro/internal/material"
+	"repro/internal/mesh"
+	"repro/internal/model"
+	"repro/internal/network"
+	"repro/internal/par"
+	"repro/internal/partition"
+	iq "repro/internal/quake"
+	"repro/internal/report"
+	"repro/internal/solver"
+	"repro/internal/spark"
+	"repro/internal/sparse"
+)
+
+// Geometry and substrate types.
+type (
+	// Vec3 is a 3D point or direction (km).
+	Vec3 = geom.Vec3
+	// Mesh is an unstructured tetrahedral mesh.
+	Mesh = mesh.Mesh
+	// MeshStats summarizes mesh size and quality.
+	MeshStats = mesh.Stats
+	// Material is the layered rock/basin velocity model.
+	Material = material.Model
+	// BCSR is a 3×3-block sparse matrix (the stiffness format).
+	BCSR = sparse.BCSR
+	// SymBCSR is the symmetric upper-triangle storage variant.
+	SymBCSR = sparse.SymBCSR
+)
+
+// Partitioning and analysis types.
+type (
+	// Partition maps mesh elements to processing elements.
+	Partition = partition.Partition
+	// Profile is the communication analysis of a partition: per-PE F,
+	// C, B, the message matrix, and the β bound.
+	Profile = partition.Profile
+	// Method selects a partitioning algorithm.
+	Method = partition.Method
+)
+
+// Partitioning methods.
+const (
+	RCB      = partition.RCB
+	Inertial = partition.Inertial
+	Random   = partition.Random
+	Linear   = partition.Linear
+	StripesZ = partition.StripesZ
+	// Multilevel is the Chaco/METIS-style multilevel KL/FM partitioner.
+	Multilevel = partition.Multilevel
+)
+
+// Model and machine types.
+type (
+	// AppProperties are the model inputs (F, C_max, B_max).
+	AppProperties = model.AppProperties
+	// MachineParams describe a machine (T_f, T_l, T_w).
+	MachineParams = machine.Params
+	// NetworkConfig configures the discrete-event exchange simulator.
+	NetworkConfig = machine.NetworkConfig
+	// Schedule is an explicit per-PE block-transfer plan.
+	Schedule = comm.Schedule
+	// Dist is the distributed SMVP operator run on goroutine PEs.
+	Dist = par.Dist
+	// ParTiming holds the per-PE phase durations of a distributed SMVP.
+	ParTiming = par.Timing
+	// DistSim is the distributed time-stepping application.
+	DistSim = par.DistSim
+	// DistSimResult reports a distributed run with phase timings.
+	DistSimResult = par.DistSimResult
+	// DistOperator adapts the distributed SMVP to solver.Operator, so
+	// CG runs with every matrix application on goroutine PEs.
+	DistOperator = par.Operator
+	// System is the assembled finite element problem (K and mass).
+	System = fem.System
+	// SimConfig configures an elastodynamic run.
+	SimConfig = fem.SimConfig
+	// SimResult reports a run's outcome and SMVP share of runtime.
+	SimResult = fem.SimResult
+	// PointSource is a Ricker-wavelet body force.
+	PointSource = fem.PointSource
+	// AbsorbingDampers are Lysmer viscous boundary dampers.
+	AbsorbingDampers = fem.AbsorbingDampers
+	// VTKField is one named point-data array for Mesh.WriteVTK.
+	VTKField = mesh.VTKField
+)
+
+// BuildAbsorbingDampers assembles boundary dampers that keep outgoing
+// waves from reflecting off the artificial mesh boundary; surfaceZ
+// identifies the free surface, which stays undamped.
+func BuildAbsorbingDampers(s *System, mat *Material, surfaceZ float64) (*AbsorbingDampers, error) {
+	return fem.BuildAbsorbingDampers(s, mat, surfaceZ)
+}
+
+// Scenario and experiment types.
+type (
+	// Scenario is one member of the sf family.
+	Scenario = iq.Scenario
+	// PropsRow is one Figure 7 row: the SMVP properties of a scenario
+	// at one PE count.
+	PropsRow = iq.PropsRow
+	// HalfPoint is one Figure 11 half-bandwidth design point.
+	HalfPoint = iq.HalfPoint
+	// Table is an aligned text/CSV table.
+	Table = report.Table
+)
+
+// The calibrated scenario family (see Figure 2 of the paper).
+var (
+	SF10     = iq.SF10
+	SF5      = iq.SF5
+	SF2      = iq.SF2
+	SF1      = iq.SF1
+	SF1Small = iq.SF1Small
+)
+
+// PECounts is the subdomain sweep used by the paper's tables (4..128).
+var PECounts = iq.PECounts
+
+// Family returns the scenario sweep; full=true includes the 2.4M-node
+// sf1 instead of the reduced sf1s proxy.
+func Family(full bool) []Scenario { return iq.Family(full) }
+
+// ScenarioByName looks up sf10, sf5, sf2, sf1, or sf1s.
+func ScenarioByName(name string) (Scenario, error) { return iq.ByName(name) }
+
+// SanFernando returns the default material model.
+func SanFernando() *Material { return material.SanFernando() }
+
+// PartitionMesh divides the mesh elements among p PEs.
+func PartitionMesh(m *Mesh, p int, method Method, seed int64) (*Partition, error) {
+	return partition.PartitionMesh(m, p, method, seed)
+}
+
+// Analyze computes the communication profile of a partition.
+func Analyze(m *Mesh, pt *Partition) (*Profile, error) { return partition.Analyze(m, pt) }
+
+// Assemble builds the global stiffness matrix and lumped mass.
+func Assemble(m *Mesh, mat *Material) (*System, error) { return fem.Assemble(m, mat) }
+
+// NewDist builds the distributed SMVP operator for a partitioned mesh.
+func NewDist(m *Mesh, mat *Material, pt *Partition, pr *Profile) (*Dist, error) {
+	return par.NewDist(m, mat, pt, pr)
+}
+
+// NewDistSim builds the distributed time-stepping application on top of
+// a distributed operator; massNode is the global lumped mass (from
+// Assemble) and absorbers may be nil.
+func NewDistSim(d *Dist, massNode []float64, absorbers *AbsorbingDampers) (*DistSim, error) {
+	return par.NewDistSim(d, massNode, absorbers)
+}
+
+// Machine presets from the paper.
+var (
+	T3D        = machine.T3D
+	T3E        = machine.T3E
+	Current100 = machine.Current100
+	Future200  = machine.Future200
+)
+
+// Model functions (Equations 1 and 2 and their derived quantities).
+var (
+	// RequiredTc solves Equation (1) for the word time meeting a target
+	// efficiency.
+	RequiredTc = model.RequiredTc
+	// RequiredBandwidth is 8/RequiredTc in bytes per second (Figure 9).
+	RequiredBandwidth = model.RequiredBandwidth
+	// AchievedTc evaluates Equation (2) for a machine on an application.
+	AchievedTc = model.AchievedTc
+	// Efficiency is the modeled E for an application on a machine.
+	Efficiency = model.Efficiency
+	// HalfBandwidthPoint is the Figure 11 design rule.
+	HalfBandwidthPoint = model.HalfBandwidthPoint
+	// BisectionBandwidth is the Figure 8 requirement.
+	BisectionBandwidth = model.BisectionBandwidth
+	// MFLOPS and MBps convert to reporting units.
+	MFLOPS = model.MFLOPS
+	MBps   = model.MBps
+)
+
+// ScheduleFromProfile builds the maximal-block exchange schedule of a
+// communication profile.
+func ScheduleFromProfile(pr *Profile) (*Schedule, error) { return comm.FromMatrix(pr.Msg) }
+
+// SimulateExchange runs the discrete-event simulation of one exchange
+// phase on the given machine and network.
+func SimulateExchange(s *Schedule, p MachineParams, net NetworkConfig) machine.SimResult {
+	return machine.Simulate(s, p, net)
+}
+
+// MeasureTf times the local SMVP on this host and returns seconds per
+// flop (the paper's T_f measurement, Section 3.1).
+func MeasureTf(k *BCSR, iters int) float64 { return par.MeasureTf(k, iters) }
+
+// NewSym converts a block-symmetric BCSR matrix to the Spark98-style
+// symmetric upper-triangle storage.
+func NewSym(k *BCSR) (*SymBCSR, error) { return sparse.NewSymFromBCSR(k) }
+
+// Extension types: overlap modeling, implicit (CG) solves, and the
+// Spark98 kernel suite.
+type (
+	// OverlapModel quantifies what overlapping computation with
+	// communication buys (paper footnote 1); see model.Overlap.
+	OverlapModel = model.Overlap
+	// SparkSuite bundles the Spark98-style SMVP kernel variants.
+	SparkSuite = spark.Suite
+	// CGConfig and CGResult configure and report conjugate gradient
+	// solves (the implicit-method extension).
+	CGConfig = solver.Config
+	CGResult = solver.Result
+	// ShiftedOperator is K + σ·diag(M), the SPD system an implicit
+	// method solves each step.
+	ShiftedOperator = solver.Shifted
+)
+
+// NewSparkSuite builds the Spark98 kernel suite from a stiffness matrix.
+func NewSparkSuite(k *BCSR) (*SparkSuite, error) { return spark.NewSuite(k) }
+
+// SolveCG runs (optionally preconditioned) conjugate gradients.
+func SolveCG(a solver.Operator, b, x []float64, cfg CGConfig) (*CGResult, error) {
+	return solver.CG(a, b, x, cfg)
+}
+
+// AllReduceTime models the cost of a global reduction over p PEs — the
+// extra communication implicit methods add per dot product.
+var AllReduceTime = model.AllReduceTime
+
+// ImplicitStep models one CG iteration's time and its allreduce share.
+var ImplicitStep = model.ImplicitStep
+
+// Torus is a 3D torus interconnect with dimension-ordered routing and
+// finite link bandwidth, for checking the infinite-capacity network
+// assumption against a contended fabric.
+type Torus = network.Torus
+
+// TorusConfig sets link bandwidth and hop latency for SimulateTorus.
+type TorusConfig = network.Config
+
+// NewTorus factors a PE count into the most cube-like torus shape.
+func NewTorus(p int) (Torus, error) { return network.NewTorus(p) }
+
+// SimulateTorus runs an exchange schedule over a contended torus.
+func SimulateTorus(s *Schedule, p MachineParams, t Torus, cfg TorusConfig) (network.Result, error) {
+	return network.Simulate(s, p, t, cfg)
+}
+
+// Properties computes Figure 7 rows for a scenario.
+func Properties(s Scenario, pcounts []int, method Method) ([]PropsRow, error) {
+	return iq.Properties(s, pcounts, method)
+}
+
+// Experiment tables (one per paper figure).
+var (
+	Fig2Table  = iq.Fig2Table
+	Fig6Table  = iq.Fig6Table
+	Fig7Table  = iq.Fig7Table
+	Fig8Table  = iq.Fig8Table
+	Fig9Table  = iq.Fig9Table
+	Fig10Table = iq.Fig10Table
+	Fig11Table = iq.Fig11Table
+)

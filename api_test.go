@@ -1,0 +1,284 @@
+package quake_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	quake "repro"
+)
+
+// TestFacadeEndToEnd drives the whole public API once on the smallest
+// scenario: mesh, partition, profile, models, schedule, simulator,
+// distributed runtime, and the figure tables.
+func TestFacadeEndToEnd(t *testing.T) {
+	s, err := quake.ScenarioByName("sf10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Mesh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumNodes() < 1000 {
+		t.Fatalf("suspiciously small mesh: %d nodes", m.NumNodes())
+	}
+
+	pt, err := quake.PartitionMesh(m, 8, quake.RCB, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := quake.Analyze(m, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := quake.AppProperties{F: pr.Fmax(), Cmax: pr.Cmax(), Bmax: pr.Bmax()}
+	if err := app.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Models.
+	bw := quake.RequiredBandwidth(app, 0.9, 5e-9)
+	if quake.MBps(bw) <= 0 {
+		t.Error("non-positive bandwidth requirement")
+	}
+	t3e := quake.T3E()
+	e := quake.Efficiency(app, t3e.Tf, t3e.Tl, t3e.Tw)
+	if e <= 0 || e >= 1 {
+		t.Errorf("efficiency = %g", e)
+	}
+	hbw, hlat := quake.HalfBandwidthPoint(app, 0.9, 5e-9)
+	if hbw <= 0 || hlat <= 0 {
+		t.Error("bad half-bandwidth point")
+	}
+
+	// Exchange schedule and discrete simulation.
+	sched, err := quake.ScheduleFromProfile(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := quake.SimulateExchange(sched, t3e, quake.NetworkConfig{Transit: 1e-6})
+	if res.CommTime <= 0 {
+		t.Error("no simulated exchange time")
+	}
+
+	// Real distributed SMVP against the sequential kernel.
+	mat := quake.SanFernando()
+	sys, err := quake.Assemble(m, mat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := quake.NewDist(m, mat, pt, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 3*m.NumNodes())
+	for i := range x {
+		x[i] = math.Sin(float64(i))
+	}
+	seq := make([]float64, len(x))
+	sys.K.MulVec(seq, x)
+	par := make([]float64, len(x))
+	tm, err := dist.SMVP(par, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.MaxCompute() <= 0 {
+		t.Error("no compute time")
+	}
+	for i := range seq {
+		if math.Abs(par[i]-seq[i]) > 1e-9*(1+math.Abs(seq[i])) {
+			t.Fatalf("distributed mismatch at %d: %g vs %g", i, par[i], seq[i])
+		}
+	}
+
+	// Symmetric kernel agrees too.
+	sym, err := quake.NewSym(sys.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ys := make([]float64, len(x))
+	sym.MulVec(ys, x)
+	for i := range seq {
+		if math.Abs(ys[i]-seq[i]) > 1e-9*(1+math.Abs(seq[i])) {
+			t.Fatalf("sym mismatch at %d", i)
+		}
+	}
+
+	// Host T_f measurement.
+	if tf := quake.MeasureTf(sys.K, 2); tf <= 0 {
+		t.Error("bad measured Tf")
+	}
+}
+
+func TestFacadeTables(t *testing.T) {
+	small := []quake.Scenario{quake.SF10}
+	pcs := []int{4, 8}
+	if _, err := quake.Fig2Table(small); err != nil {
+		t.Fatal(err)
+	}
+	for name, f := range map[string]func() (*quake.Table, error){
+		"fig6":  func() (*quake.Table, error) { return quake.Fig6Table(small, pcs, quake.RCB) },
+		"fig7":  func() (*quake.Table, error) { return quake.Fig7Table(small, pcs, quake.RCB) },
+		"fig8":  func() (*quake.Table, error) { return quake.Fig8Table(quake.SF10, pcs, quake.RCB) },
+		"fig9":  func() (*quake.Table, error) { return quake.Fig9Table(quake.SF10, pcs, quake.RCB) },
+		"fig11": func() (*quake.Table, error) { return quake.Fig11Table(quake.SF10, pcs, quake.RCB) },
+	} {
+		tab, err := f()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var sb strings.Builder
+		if err := tab.Render(&sb); err != nil {
+			t.Fatalf("%s render: %v", name, err)
+		}
+		if len(sb.String()) < 50 {
+			t.Errorf("%s output too short", name)
+		}
+	}
+	rows, err := quake.Properties(quake.SF10, pcs, quake.RCB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := quake.Fig10Table(rows[1], 5e-9, []float64{10, 100})
+	if len(tab.Rows) == 0 {
+		t.Error("fig10 empty")
+	}
+}
+
+func TestFamilyAndPresets(t *testing.T) {
+	if got := quake.Family(false); len(got) != 4 || got[3].Name != "sf1s" {
+		t.Errorf("Family(false) = %v", got)
+	}
+	if got := quake.Family(true); got[3].Name != "sf1" {
+		t.Errorf("Family(true) = %v", got)
+	}
+	if len(quake.PECounts) != 6 || quake.PECounts[0] != 4 || quake.PECounts[5] != 128 {
+		t.Errorf("PECounts = %v", quake.PECounts)
+	}
+	for _, m := range []quake.MachineParams{quake.T3D(), quake.T3E(), quake.Current100(), quake.Future200()} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+	if _, err := quake.ScenarioByName("bogus"); err == nil {
+		t.Error("bogus scenario accepted")
+	}
+}
+
+// TestFacadeExtensions drives the extension surface of the facade:
+// absorbers, the distributed application, the torus simulator, the
+// spark suite, and the distributed CG operator.
+func TestFacadeExtensions(t *testing.T) {
+	m, err := quake.SF10.Mesh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat := quake.SanFernando()
+	sys, err := quake.Assemble(m, mat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := quake.BuildAbsorbingDampers(sys, mat, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab.Faces == 0 {
+		t.Fatal("no absorber faces")
+	}
+
+	pt, err := quake.PartitionMesh(m, 4, quake.Multilevel, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := quake.Analyze(m, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := quake.NewDist(m, mat, pt, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsim, err := quake.NewDistSim(dist, sys.MassNode, ab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dsim.Run(m.Coords, quake.SimConfig{
+		Dt:    sys.StableDt(0.5),
+		Steps: 20,
+		Source: quake.PointSource{
+			Location: quake.Vec3{X: 25, Y: 25, Z: 5}, Direction: quake.Vec3{Z: 1},
+			Amplitude: 1, PeakFreq: 0.1, Delay: 12,
+		},
+		Absorbers: ab,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 20 || res.ComputeSeconds <= 0 {
+		t.Errorf("distributed run: %+v", res)
+	}
+
+	// Torus simulation through the facade.
+	sched, err := quake.ScheduleFromProfile(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tor, err := quake.NewTorus(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tres, err := quake.SimulateTorus(sched, quake.T3E(), tor, quake.TorusConfig{LinkBytesPerSec: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tres.CommTime <= 0 {
+		t.Error("no torus comm time")
+	}
+
+	// Spark suite and overlapped kernel.
+	suite, err := quake.NewSparkSuite(sys.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 3*m.NumNodes())
+	y1 := make([]float64, len(x))
+	y2 := make([]float64, len(x))
+	for i := range x {
+		x[i] = float64(i % 3)
+	}
+	suite.BMV(y1, x)
+	suite.RMV(y2, x, 2)
+	for i := range y1 {
+		if math.Abs(y1[i]-y2[i]) > 1e-9*(1+math.Abs(y1[i])) {
+			t.Fatal("spark kernels disagree via facade")
+		}
+	}
+	if _, err := dist.SMVPOverlapped(y2, x); err != nil {
+		t.Fatal(err)
+	}
+
+	// Distributed CG through the facade.
+	op := quake.DistOperator{D: dist, Shift: 30, MassNode: sys.MassNode}
+	b := make([]float64, op.Dim())
+	b[0] = 1
+	sol := make([]float64, op.Dim())
+	cg, err := quake.SolveCG(op, b, sol, quake.CGConfig{MaxIter: 2000, Tol: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cg.Converged {
+		t.Error("facade CG did not converge")
+	}
+
+	// Overlap and implicit models.
+	o := quake.OverlapModel{App: quake.AppProperties{F: pr.Fmax(), Cmax: pr.Cmax(), Bmax: pr.Bmax()},
+		FBoundary: pr.FBoundaryMax()}
+	t3e := quake.T3E()
+	if s := o.Speedup(t3e.Tf, t3e.Tl, t3e.Tw); s < 1 || s > 2 {
+		t.Errorf("overlap speedup %g", s)
+	}
+	if step, _ := quake.ImplicitStep(o.App, 4, 3, t3e.Tf, t3e.Tl, t3e.Tw); step <= 0 {
+		t.Error("implicit step non-positive")
+	}
+}

@@ -1,0 +1,76 @@
+// DSM regime benchmarks: page-grain communication with false sharing,
+// across page sizes and node orderings — the software-DSM block regime
+// the paper cites (TreadMarks) taken seriously.
+package quake_test
+
+import (
+	"fmt"
+	"testing"
+
+	quake "repro"
+	"repro/internal/dsm"
+	"repro/internal/model"
+	"repro/internal/partition"
+	"repro/internal/report"
+)
+
+// BenchmarkDSMFalseSharing sweeps the page size on sf5/64 and reports
+// the volume amplification and the modeled efficiency with
+// software-DSM costs (per-page fault handling ~300 µs, the TreadMarks
+// ballpark). Node ordering changes how shared nodes cluster into
+// pages, so the sweep runs on both the native and the RCM-renumbered
+// mesh.
+func BenchmarkDSMFalseSharing(b *testing.B) {
+	base, err := quake.SF5.Mesh()
+	if err != nil {
+		b.Fatal(err)
+	}
+	perm := base.RCMOrder()
+	rcm, err := base.Permute(perm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const (
+		pageFault = 300e-6 // Tl per page on a software DSM
+		twDSM     = 55e-9  // same wire speed as the T3E
+		tf        = 10e-9
+	)
+	tab := report.New("DSM regime: page-grain exchange (sf5/64, page fault 300 µs)",
+		"ordering", "page words", "amplification", "pages max/PE", "E(model)")
+	var worstAmp float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Rows = tab.Rows[:0]
+		worstAmp = 0
+		for _, variant := range []struct {
+			name string
+			m    *quake.Mesh
+		}{{"native", base}, {"rcm", rcm}} {
+			pt, err := partition.PartitionMesh(variant.m, 64, partition.RCB, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pr, err := partition.Analyze(variant.m, pt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, pw := range []int64{4, 16, 64, 512} {
+				a, err := dsm.Analyze(pr, dsm.Layout{PageWords: pw})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if amp := a.Amplification(); amp > worstAmp {
+					worstAmp = amp
+				}
+				app := model.AppProperties{F: pr.Fmax(), Cmax: a.Cmax(), Bmax: a.Bmax()}
+				e := model.Efficiency(app, tf, pageFault, twDSM)
+				tab.AddRow(variant.name, fmt.Sprint(pw),
+					report.F(a.Amplification(), 2),
+					report.Int(a.Bmax()),
+					report.F(e, 3))
+			}
+		}
+		saveTable(b, "dsm_false_sharing", tab)
+	}
+	b.ReportMetric(worstAmp, "worstAmplification")
+}

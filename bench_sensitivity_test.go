@@ -1,0 +1,120 @@
+// Sensitivity sweeps: how the reproduction's free knobs (mesh
+// resolution, basin softness) move the quantities the paper's
+// conclusions rest on. These bound the effect of our calibration
+// choices on the reproduced results.
+package quake_test
+
+import (
+	"testing"
+
+	quake "repro"
+	"repro/internal/material"
+	"repro/internal/mesh"
+	"repro/internal/model"
+	"repro/internal/octree"
+	"repro/internal/partition"
+	iq "repro/internal/quake"
+	"repro/internal/report"
+)
+
+// BenchmarkSensitivityPPW sweeps the points-per-wavelength calibration
+// knob on the sf5 period and reports how mesh size and F/C_max respond.
+// The F/C_max trend with size must be robust to the calibration choice.
+func BenchmarkSensitivityPPW(b *testing.B) {
+	mat := quake.SanFernando()
+	tab := report.New("Sensitivity: points-per-wavelength (period 5 s, 32 PEs, RCB)",
+		"PPW", "nodes", "elements", "F/C_max", "β", "M_avg")
+	var ratios []float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Rows = tab.Rows[:0]
+		ratios = ratios[:0]
+		for _, ppw := range []float64{1.5, 2.0, 2.5, 3.0} {
+			tr, err := octree.Build(iq.Domain(8), mat.Sizing(5, ppw))
+			if err != nil {
+				b.Fatal(err)
+			}
+			m, err := mesh.FromTree(tr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pt, err := partition.PartitionMesh(m, 32, partition.RCB, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pr, err := partition.Analyze(m, pt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ratios = append(ratios, pr.CompCommRatio())
+			tab.AddRow(report.F(ppw, 1),
+				report.Int(int64(m.NumNodes())), report.Int(int64(m.NumElems())),
+				report.F(pr.CompCommRatio(), 0), report.F(pr.Beta(), 2),
+				report.F(pr.Mavg(), 0))
+		}
+		saveTable(b, "sensitivity_ppw", tab)
+	}
+	// Finer meshes (higher PPW) must have higher F/C_max at fixed P —
+	// the O(n^{1/3}) law, independent of the calibration constant.
+	for i := 1; i < len(ratios); i++ {
+		if ratios[i] < ratios[i-1]*0.95 {
+			b.Fatalf("F/C_max not rising with resolution: %v", ratios)
+		}
+	}
+	b.ReportMetric(ratios[len(ratios)-1]/ratios[0], "ratioSpread")
+}
+
+// BenchmarkSensitivityBasinContrast sweeps the basin softness: a softer
+// basin means a larger velocity contrast, a more strongly graded mesh,
+// and worse communication balance. This locates our synthetic model
+// within the space of plausible San Fernando models.
+func BenchmarkSensitivityBasinContrast(b *testing.B) {
+	tab := report.New("Sensitivity: basin shear velocity (period 5 s, PPW 2, 32 PEs)",
+		"basin Vs km/s", "contrast", "nodes", "C_max/C_avg", "E(T3E model)")
+	var worstBalance float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Rows = tab.Rows[:0]
+		worstBalance = 0
+		for _, vs := range []float64{0.4, 0.8, 1.5, 3.0} {
+			mat := material.SanFernando()
+			mat.BasinVsSurface = vs
+			if vs >= mat.RockVs {
+				mat.BasinVsSurface = mat.RockVs
+			}
+			tr, err := octree.Build(iq.Domain(8), mat.Sizing(5, 2.0))
+			if err != nil {
+				b.Fatal(err)
+			}
+			m, err := mesh.FromTree(tr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pt, err := partition.PartitionMesh(m, 32, partition.RCB, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pr, err := partition.Analyze(m, pt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var csum int64
+			for _, c := range pr.C {
+				csum += c
+			}
+			balance := float64(pr.Cmax()) / (float64(csum) / float64(pr.P))
+			if balance > worstBalance {
+				worstBalance = balance
+			}
+			app := model.AppProperties{F: pr.Fmax(), Cmax: pr.Cmax(), Bmax: pr.Bmax()}
+			t3e := quake.T3E()
+			tab.AddRow(report.F(vs, 1),
+				report.F(mat.RockVs/mat.BasinVsSurface, 1),
+				report.Int(int64(m.NumNodes())),
+				report.F(balance, 2),
+				report.F(model.Efficiency(app, t3e.Tf, t3e.Tl, t3e.Tw), 3))
+		}
+		saveTable(b, "sensitivity_contrast", tab)
+	}
+	b.ReportMetric(worstBalance, "worstCmax/Cavg")
+}

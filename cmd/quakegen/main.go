@@ -1,0 +1,92 @@
+// Command quakegen generates the synthetic San Fernando meshes and
+// prints their sizes against the paper's Figure 2. With -out it also
+// writes the mesh in the binary format read by mesh.Read.
+//
+// Usage:
+//
+//	quakegen                      # sf10+sf5+sf2+sf1s size table
+//	quakegen -full                # include the 2.4M-node sf1
+//	quakegen -scenario sf5 -out sf5.qmesh
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/mesh"
+	"repro/internal/quake"
+	"repro/internal/report"
+)
+
+func main() {
+	scenario := flag.String("scenario", "", "generate a single scenario (sf10|sf5|sf2|sf1|sf1s)")
+	out := flag.String("out", "", "write the generated mesh to this file (requires -scenario)")
+	vtk := flag.String("vtk", "", "write the mesh in legacy VTK format, with the local shear velocity as point data (requires -scenario)")
+	full := flag.Bool("full", false, "include the full-scale sf1 in the table sweep")
+	flag.Parse()
+
+	if err := run(*scenario, *out, *vtk, *full); err != nil {
+		fmt.Fprintln(os.Stderr, "quakegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scenario, out, vtk string, full bool) error {
+	if scenario != "" {
+		s, err := quake.ByName(scenario)
+		if err != nil {
+			return err
+		}
+		m, err := s.Mesh()
+		if err != nil {
+			return err
+		}
+		printStats(s, m)
+		if out != "" {
+			f, err := os.Create(out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := m.Write(f); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", out)
+		}
+		if vtk != "" {
+			mat := quake.Material()
+			vs := make([]float64, m.NumNodes())
+			for i, p := range m.Coords {
+				vs[i] = mat.ShearVelocity(p)
+			}
+			f, err := os.Create(vtk)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := m.WriteVTK(f, s.Name+" mesh", mesh.VTKField{Name: "Vs", Data: vs}); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", vtk)
+		}
+		return nil
+	}
+	if out != "" || vtk != "" {
+		return fmt.Errorf("-out/-vtk require -scenario")
+	}
+	tab, err := quake.Fig2Table(quake.Family(full))
+	if err != nil {
+		return err
+	}
+	return tab.Render(os.Stdout)
+}
+
+func printStats(s quake.Scenario, m *mesh.Mesh) {
+	st := m.ComputeStats()
+	fmt.Printf("%s: period %gs, %s nodes (paper %s), %s elements, %s edges, avg degree %.1f, %.2f KB/node\n",
+		s.Name, s.Period,
+		report.Int(int64(st.Nodes)), report.Int(s.PaperNodes),
+		report.Int(int64(st.Elems)), report.Int(int64(st.Edges)),
+		st.AvgDegree, st.BytesPerNode/1024)
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunTable(t *testing.T) {
+	if err := run("", "", "", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleScenarioWithOutputs(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "m.qmesh")
+	vtk := filepath.Join(dir, "m.vtk")
+	if err := run("sf10", out, vtk, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{out, vtk} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("%s is empty", p)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nope", "", "", false); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if err := run("", "x.mesh", "", false); err == nil {
+		t.Error("-out without -scenario accepted")
+	}
+}

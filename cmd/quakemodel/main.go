@@ -1,0 +1,120 @@
+// Command quakemodel evaluates the paper's communication-requirement
+// models on a scenario and prints Figures 8 through 11 plus the EXFLOW
+// comparison from the introduction.
+//
+// Usage:
+//
+//	quakemodel                     # sf5 quick sweep
+//	quakemodel -scenario sf2 -pes 4,8,16,32,64,128   # the paper's runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/partition"
+	"repro/internal/quake"
+	"repro/internal/report"
+)
+
+func main() {
+	scenario := flag.String("scenario", "sf5", "scenario name")
+	pes := flag.String("pes", "4,8,16,32,64,128", "comma-separated PE counts")
+	flag.Parse()
+
+	if err := run(*scenario, *pes); err != nil {
+		fmt.Fprintln(os.Stderr, "quakemodel:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name, peList string) error {
+	s, err := quake.ByName(name)
+	if err != nil {
+		return err
+	}
+	var pcounts []int
+	for _, part := range strings.Split(peList, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return fmt.Errorf("bad PE count %q: %w", part, err)
+		}
+		pcounts = append(pcounts, v)
+	}
+	method := partition.RCB
+
+	emit := func(t *report.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+		_, err = fmt.Println()
+		return err
+	}
+
+	if err := emit(quake.Fig8Table(s, pcounts, method)); err != nil {
+		return err
+	}
+	if err := emit(quake.Fig9Table(s, pcounts, method)); err != nil {
+		return err
+	}
+
+	rows, err := quake.Properties(s, pcounts, method)
+	if err != nil {
+		return err
+	}
+	last := rows[len(rows)-1]
+	bursts := []float64{1, 3, 10, 30, 100, 300, 1000, 3000, 10000}
+	if err := emit(quake.Fig10Table(last, 5e-9, bursts), nil); err != nil {
+		return err
+	}
+	if err := emit(quake.Fig11Table(s, pcounts, method)); err != nil {
+		return err
+	}
+
+	// EXFLOW comparison (paper Section 1), on the largest PE count.
+	cmp, err := quake.CompareEXFLOW(s, last)
+	if err != nil {
+		return err
+	}
+	t := report.New(fmt.Sprintf("EXFLOW vs %s/%d (paper: EXFLOW vs sf2/128)", s.Name, last.P),
+		"metric", "EXFLOW (published)", fmt.Sprintf("%s/%d (ours)", s.Name, last.P), "paper sf2/128")
+	t.AddRow("comm volume KB/MFLOP",
+		report.F(cmp.EXFLOWKBPerMFLOP, 0), report.F(cmp.QuakeKBPerMFLOP, 1),
+		report.F(quake.PaperQuakeKBPerMFLOP, 0))
+	t.AddRow("messages/MFLOP",
+		report.F(cmp.EXFLOWMsgsPerMFLOP, 0), report.F(cmp.QuakeMsgsPerMFLOP, 1),
+		report.F(quake.PaperQuakeMsgsPerMFLOP, 0))
+	t.AddRow("avg message KB",
+		report.F(cmp.EXFLOWAvgMsgKB, 1), report.F(cmp.QuakeAvgMsgKB, 1),
+		report.F(quake.PaperQuakeAvgMsgKB, 1))
+	t.AddRow("data MB/PE", "2.0", report.F(cmp.QuakeMBPerPE, 2), "2.0")
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+
+	// Achieved efficiency of the preset machines on each instance.
+	t2 := report.New(fmt.Sprintf("Modeled efficiency of preset machines on %s", s.Name),
+		"subdomains", "T3D", "T3E", "current-100", "future-200")
+	for _, r := range rows {
+		app := r.App()
+		cells := []string{fmt.Sprint(r.P)}
+		for _, m := range []struct{ tf, tl, tw float64 }{
+			{30e-9, 60e-6, 230e-9},
+			{14e-9, 22e-6, 55e-9},
+			{10e-9, 22e-6, 55e-9},
+			{5e-9, 2e-6, 13e-9},
+		} {
+			cells = append(cells, report.F(model.Efficiency(app, m.tf, m.tl, m.tw), 3))
+		}
+		t2.AddRow(cells...)
+	}
+	return t2.Render(os.Stdout)
+}

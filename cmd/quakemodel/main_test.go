@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRun(t *testing.T) {
+	if err := run("sf10", "4,8"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("bogus", "4"); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if err := run("sf10", "4,oops"); err == nil {
+		t.Error("bad PE list accepted")
+	}
+}

@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRun(t *testing.T) {
+	if err := run("sf10", 8, 100e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("bogus", 8, 0); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if err := run("sf10", -1, 0); err == nil {
+		t.Error("bad PE count accepted")
+	}
+}

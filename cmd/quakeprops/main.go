@@ -1,0 +1,103 @@
+// Command quakeprops partitions the scenario meshes across the paper's
+// subdomain sweep and prints the SMVP property tables: Figure 7 (F,
+// C_max, B_max, M_avg, F/C_max) and Figure 6 (the β error bounds).
+//
+// Usage:
+//
+//	quakeprops                       # sf10+sf5 quick sweep
+//	quakeprops -scenarios sf10,sf5,sf2 -pes 4,8,16,32,64,128
+//	quakeprops -method random        # partition-quality ablation
+//	quakeprops -csv                  # CSV instead of aligned text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/partition"
+	"repro/internal/quake"
+	"repro/internal/report"
+)
+
+func main() {
+	scenarios := flag.String("scenarios", "sf10,sf5", "comma-separated scenario names")
+	pes := flag.String("pes", "4,8,16,32,64,128", "comma-separated PE counts")
+	method := flag.String("method", "rcb", "partitioner: rcb|inertial|random|linear|stripes-z")
+	csv := flag.Bool("csv", false, "emit CSV")
+	flag.Parse()
+
+	if err := run(*scenarios, *pes, *method, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "quakeprops:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scenarioList, peList, methodName string, csv bool) error {
+	var ss []quake.Scenario
+	for _, name := range strings.Split(scenarioList, ",") {
+		s, err := quake.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		ss = append(ss, s)
+	}
+	pcounts, err := parseInts(peList)
+	if err != nil {
+		return err
+	}
+	method, err := parseMethod(methodName)
+	if err != nil {
+		return err
+	}
+
+	emit := func(t *report.Table) error {
+		if csv {
+			return t.CSV(os.Stdout)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+		_, err := fmt.Println()
+		return err
+	}
+
+	t7, err := quake.Fig7Table(ss, pcounts, method)
+	if err != nil {
+		return err
+	}
+	if err := emit(t7); err != nil {
+		return err
+	}
+	t6, err := quake.Fig6Table(ss, pcounts, method)
+	if err != nil {
+		return err
+	}
+	return emit(t6)
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad PE count %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseMethod(name string) (partition.Method, error) {
+	for _, m := range []partition.Method{
+		partition.RCB, partition.Inertial, partition.Random,
+		partition.Linear, partition.StripesZ, partition.Multilevel,
+	} {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown method %q", name)
+}

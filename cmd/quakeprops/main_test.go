@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRun(t *testing.T) {
+	if err := run("sf10", "4,8", "rcb", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("sf10", "4", "multilevel", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("bogus", "4", "rcb", false); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if err := run("sf10", "x", "rcb", false); err == nil {
+		t.Error("bad PE list accepted")
+	}
+	if err := run("sf10", "4", "magic", false); err == nil {
+		t.Error("unknown method accepted")
+	}
+}

@@ -1,0 +1,146 @@
+// Command quakerepro regenerates every paper figure in one shot and
+// writes them to a directory (default results/), without going through
+// the benchmark harness. It is the "reproduce the paper" button.
+//
+// Usage:
+//
+//	quakerepro                         # sf10+sf5 quick pass into results/
+//	quakerepro -scenarios sf10,sf5,sf2 -out results -md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/partition"
+	"repro/internal/quake"
+	"repro/internal/report"
+)
+
+func main() {
+	scenarios := flag.String("scenarios", "sf10,sf5", "comma-separated scenario names")
+	out := flag.String("out", "results", "output directory")
+	format := flag.String("format", "text", "output format: text|md|csv")
+	flag.Parse()
+
+	if err := run(*scenarios, *out, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "quakerepro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scenarioList, outDir, format string) error {
+	var ss []quake.Scenario
+	for _, name := range strings.Split(scenarioList, ",") {
+		s, err := quake.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		ss = append(ss, s)
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	largest := ss[len(ss)-1]
+	method := partition.RCB
+
+	var ext string
+	var write func(t *report.Table, f *os.File) error
+	switch format {
+	case "text":
+		ext, write = ".txt", func(t *report.Table, f *os.File) error { return t.Render(f) }
+	case "md":
+		ext, write = ".md", func(t *report.Table, f *os.File) error { return t.Markdown(f) }
+	case "csv":
+		ext, write = ".csv", func(t *report.Table, f *os.File) error { return t.CSV(f) }
+	default:
+		return fmt.Errorf("unknown format %q (want text, md, or csv)", format)
+	}
+	save := func(name string, t *report.Table, err error) error {
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		f, err := os.Create(filepath.Join(outDir, name+ext))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return write(t, f)
+	}
+
+	type job struct {
+		name string
+		make func() (*report.Table, error)
+	}
+	jobs := []job{
+		{"fig2_mesh_sizes", func() (*report.Table, error) { return quake.Fig2Table(ss) }},
+		{"fig6_beta", func() (*report.Table, error) { return quake.Fig6Table(ss, quake.PECounts, method) }},
+		{"fig7_properties", func() (*report.Table, error) { return quake.Fig7Table(ss, quake.PECounts, method) }},
+		{"fig8_bisection", func() (*report.Table, error) { return quake.Fig8Table(largest, quake.PECounts, method) }},
+		{"fig9_sustained_bw", func() (*report.Table, error) { return quake.Fig9Table(largest, quake.PECounts, method) }},
+		{"fig11_half_bandwidth", func() (*report.Table, error) { return quake.Fig11Table(largest, quake.PECounts, method) }},
+	}
+	for _, j := range jobs {
+		t, err := j.make()
+		if err := save(j.name, t, err); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", j.name)
+	}
+
+	// Figure 10 needs a properties row.
+	rows, err := quake.Properties(largest, quake.PECounts, method)
+	if err != nil {
+		return err
+	}
+	last := rows[len(rows)-1]
+	bursts := []float64{1, 3, 10, 30, 100, 300, 1000, 3000, 10000}
+	if err := save("fig10_tradeoff", quake.Fig10Table(last, 5e-9, bursts), nil); err != nil {
+		return err
+	}
+	fmt.Println("wrote fig10_tradeoff")
+
+	// EXFLOW comparison on the largest instance.
+	cmp, err := quake.CompareEXFLOW(largest, last)
+	if err != nil {
+		return err
+	}
+	t := report.New(fmt.Sprintf("EXFLOW vs %s/%d", largest.Name, last.P),
+		"metric", "EXFLOW", "ours", "paper sf2/128")
+	t.AddRow("KB/MFLOP", report.F(cmp.EXFLOWKBPerMFLOP, 0),
+		report.F(cmp.QuakeKBPerMFLOP, 1), report.F(quake.PaperQuakeKBPerMFLOP, 0))
+	t.AddRow("msgs/MFLOP", report.F(cmp.EXFLOWMsgsPerMFLOP, 0),
+		report.F(cmp.QuakeMsgsPerMFLOP, 1), report.F(quake.PaperQuakeMsgsPerMFLOP, 0))
+	t.AddRow("avg msg KB", report.F(cmp.EXFLOWAvgMsgKB, 1),
+		report.F(cmp.QuakeAvgMsgKB, 1), report.F(quake.PaperQuakeAvgMsgKB, 1))
+	if err := save("exflow_comparison", t, nil); err != nil {
+		return err
+	}
+	fmt.Println("wrote exflow_comparison")
+
+	// Preset machine efficiencies across the sweep.
+	t2 := report.New("Modeled efficiency of preset machines on "+largest.Name,
+		"subdomains", "T3D", "T3E", "current-100", "future-200")
+	presets := []struct{ tf, tl, tw float64 }{
+		{30e-9, 60e-6, 230e-9},
+		{14e-9, 22e-6, 55e-9},
+		{10e-9, 22e-6, 55e-9},
+		{5e-9, 2e-6, 13e-9},
+	}
+	for _, r := range rows {
+		cells := []string{fmt.Sprint(r.P)}
+		for _, m := range presets {
+			cells = append(cells, report.F(model.Efficiency(r.App(), m.tf, m.tl, m.tw), 3))
+		}
+		t2.AddRow(cells...)
+	}
+	if err := save("preset_efficiency", t2, nil); err != nil {
+		return err
+	}
+	fmt.Println("wrote preset_efficiency")
+	return nil
+}

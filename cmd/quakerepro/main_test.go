@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunText(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("sf10", dir, "text"); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"fig2_mesh_sizes.txt", "fig6_beta.txt", "fig7_properties.txt",
+		"fig8_bisection.txt", "fig9_sustained_bw.txt", "fig10_tradeoff.txt",
+		"fig11_half_bandwidth.txt", "exflow_comparison.txt", "preset_efficiency.txt",
+	} {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("%s is empty", name)
+		}
+	}
+}
+
+func TestRunMarkdown(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("sf10", dir, "md"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig7_properties.md")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("sf10", dir, "csv"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig7_properties.csv")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("sf10", t.TempDir(), "xml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if err := run("bogus", t.TempDir(), "text"); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}

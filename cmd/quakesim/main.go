@@ -1,0 +1,185 @@
+// Command quakesim runs the actual earthquake simulation: it assembles
+// the elastodynamic system for a scenario, integrates it with the
+// explicit central-difference scheme (sequentially, timing the SMVP
+// share of the run the way Section 2.3 does), then executes the
+// distributed SMVP on goroutine PEs and compares measured phase times
+// against the closed-form model and the discrete-event simulator.
+//
+// Usage:
+//
+//	quakesim                       # sf10, 300 steps, 8 PEs
+//	quakesim -scenario sf5 -steps 1000 -pes 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/comm"
+	"repro/internal/fem"
+	"repro/internal/geom"
+	"repro/internal/machine"
+	"repro/internal/model"
+	"repro/internal/par"
+	"repro/internal/partition"
+	"repro/internal/quake"
+	"repro/internal/report"
+)
+
+func main() {
+	scenario := flag.String("scenario", "sf10", "scenario name")
+	steps := flag.Int("steps", 300, "time steps to integrate")
+	pes := flag.Int("pes", 8, "PE count for the distributed SMVP")
+	seis := flag.String("seis", "", "write receiver seismograms as CSV to this file")
+	flag.Parse()
+
+	if err := run(*scenario, *steps, *pes, *seis); err != nil {
+		fmt.Fprintln(os.Stderr, "quakesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name string, steps, pes int, seisPath string) error {
+	s, err := quake.ByName(name)
+	if err != nil {
+		return err
+	}
+	m, err := s.Mesh()
+	if err != nil {
+		return err
+	}
+	mat := quake.Material()
+	fmt.Printf("%s: %s nodes, %s elements\n", s.Name,
+		report.Int(int64(m.NumNodes())), report.Int(int64(m.NumElems())))
+
+	sys, err := fem.Assemble(m, mat)
+	if err != nil {
+		return err
+	}
+	dt := sys.StableDt(0.5)
+	fmt.Printf("assembled K: %s nonzeros; stable dt %s\n",
+		report.Int(int64(sys.K.NNZ())), report.SI(dt, "s"))
+
+	// Sequential run: measure the SMVP share of total time (the paper
+	// reports over 80% for the real applications).
+	src := fem.PointSource{
+		Location:  geom.V(25, 25, 6),
+		Direction: geom.V(0, 0, 1),
+		Amplitude: 1e3,
+		PeakFreq:  1 / s.Period,
+		Delay:     1.2 * s.Period,
+	}
+	rcv := sys.NearestNode(geom.V(25, 25, 0))
+	res, err := sys.Run(fem.SimConfig{Dt: dt, Steps: steps, Source: src, Receivers: []int32{rcv}})
+	if err != nil {
+		return err
+	}
+	tf := res.SMVPSeconds / float64(res.FlopsSMVP)
+	fmt.Printf("integrated %d steps in %.2fs; SMVP share %.1f%% (paper: >80%%)\n",
+		res.Steps, res.TotalSeconds, 100*res.SMVPShare())
+	fmt.Printf("achieved T_f = %s (%.0f MFLOPS sustained)\n",
+		report.SI(tf, "s/flop"), model.MFLOPS(tf))
+	var peak float64
+	for _, v := range res.Seismograms[0] {
+		if v > peak {
+			peak = v
+		}
+	}
+	fmt.Printf("peak surface displacement at basin center: %.3g\n\n", peak)
+	if seisPath != "" {
+		if err := writeSeismograms(seisPath, dt, res.Seismograms); err != nil {
+			return err
+		}
+		fmt.Printf("wrote seismograms to %s\n\n", seisPath)
+	}
+
+	// Distributed SMVP on goroutine PEs.
+	pt, err := partition.PartitionMesh(m, pes, partition.RCB, 1)
+	if err != nil {
+		return err
+	}
+	pr, err := partition.Analyze(m, pt)
+	if err != nil {
+		return err
+	}
+	dist, err := par.NewDist(m, mat, pt, pr)
+	if err != nil {
+		return err
+	}
+	x := make([]float64, 3*m.NumNodes())
+	for i := range x {
+		x[i] = float64(i%11) * 0.1
+	}
+	y := make([]float64, len(x))
+	var tm *par.Timing
+	const reps = 5
+	for i := 0; i < reps; i++ {
+		if tm, err = dist.SMVP(y, x); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("distributed SMVP on %d goroutine PEs: compute %s, exchange %s\n",
+		pes, report.SI(tm.MaxCompute().Seconds(), "s"), report.SI(tm.MaxComm().Seconds(), "s"))
+
+	// The full distributed application: same scheme, goroutine PEs.
+	dsim, err := par.NewDistSim(dist, sys.MassNode, nil)
+	if err != nil {
+		return err
+	}
+	distSteps := steps
+	if distSteps > 200 {
+		distSteps = 200
+	}
+	dres, err := dsim.Run(m.Coords, fem.SimConfig{
+		Dt: dt, Steps: distSteps, Source: src,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("distributed application (%d steps on %d PEs): multiply %s, exchange %s per run\n",
+		dres.Steps, pes,
+		report.SI(dres.ComputeSeconds, "s"), report.SI(dres.ExchangeSeconds, "s"))
+
+	// Model vs discrete-event simulation of the exchange, on the T3E.
+	app := model.AppProperties{F: pr.Fmax(), Cmax: pr.Cmax(), Bmax: pr.Bmax()}
+	t3e := machine.T3E()
+	sched, err := comm.FromMatrix(pr.Msg)
+	if err != nil {
+		return err
+	}
+	modelT := machine.ModelCommTime(sched, t3e)
+	exactT := machine.ExactCommTime(sched, t3e)
+	simT := machine.Simulate(sched, t3e, machine.NetworkConfig{Transit: 1e-6}).CommTime
+	fmt.Printf("\nexchange phase on %s: model %s, exact per-PE %s, discrete sim %s (β=%.2f)\n",
+		t3e.Name, report.SI(modelT, "s"), report.SI(exactT, "s"), report.SI(simT, "s"), pr.Beta())
+	fmt.Printf("modeled efficiency of %s on %s/%d: %.3f\n",
+		t3e.Name, s.Name, pes, model.Efficiency(app, t3e.Tf, t3e.Tl, t3e.Tw))
+	return nil
+}
+
+// writeSeismograms emits one CSV row per step: time then |u| at each
+// receiver.
+func writeSeismograms(path string, dt float64, seis [][]float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprint(f, "t")
+	for r := range seis {
+		fmt.Fprintf(f, ",receiver%d", r)
+	}
+	fmt.Fprintln(f)
+	if len(seis) == 0 {
+		return nil
+	}
+	for step := range seis[0] {
+		fmt.Fprintf(f, "%g", float64(step)*dt)
+		for r := range seis {
+			fmt.Fprintf(f, ",%g", seis[r][step])
+		}
+		fmt.Fprintln(f)
+	}
+	return nil
+}

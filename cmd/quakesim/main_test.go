@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+import (
+	"os"
+	"path/filepath"
+)
+
+func TestRun(t *testing.T) {
+	seis := filepath.Join(t.TempDir(), "seis.csv")
+	if err := run("sf10", 40, 4, seis); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(seis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() == 0 {
+		t.Fatal("empty seismogram file")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("bogus", 10, 2, ""); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}

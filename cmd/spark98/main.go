@@ -1,0 +1,85 @@
+// Command spark98 runs the Spark98-style SMVP kernel suite (see the
+// paper's postscript) on a scenario's stiffness matrix and reports the
+// throughput of each storage/parallelization variant.
+//
+// Usage:
+//
+//	spark98                      # sf10, all kernels, GOMAXPROCS threads
+//	spark98 -scenario sf5 -iters 20 -threads 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/fem"
+	"repro/internal/model"
+	"repro/internal/quake"
+	"repro/internal/report"
+	"repro/internal/spark"
+)
+
+func main() {
+	scenario := flag.String("scenario", "sf10", "scenario name")
+	iters := flag.Int("iters", 10, "SMVPs per kernel")
+	threads := flag.Int("threads", runtime.GOMAXPROCS(0), "threads for parallel kernels")
+	flag.Parse()
+
+	if err := run(*scenario, *iters, *threads); err != nil {
+		fmt.Fprintln(os.Stderr, "spark98:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name string, iters, threads int) error {
+	s, err := quake.ByName(name)
+	if err != nil {
+		return err
+	}
+	m, err := s.Mesh()
+	if err != nil {
+		return err
+	}
+	sys, err := fem.Assemble(m, quake.Material())
+	if err != nil {
+		return err
+	}
+	suite, err := spark.NewSuite(sys.K)
+	if err != nil {
+		return err
+	}
+	flops := float64(2*sys.K.NNZ()) * float64(iters)
+	x := make([]float64, 3*m.NumNodes())
+	y := make([]float64, 3*m.NumNodes())
+	for i := range x {
+		x[i] = float64(i%13) * 0.17
+	}
+
+	fmt.Printf("spark98 kernels on %s (%s nonzeros, %d iterations, %d threads)\n\n",
+		s.Name, report.Int(int64(sys.K.NNZ())), iters, threads)
+	tab := report.New("", "kernel", "storage", "parallel", "time/SMVP", "MFLOPS")
+	bench := func(kernel, storage, par string, f func()) {
+		f() // warm up
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			f()
+		}
+		el := time.Since(start).Seconds()
+		tab.AddRow(kernel, storage, par,
+			report.SI(el/float64(iters), "s"),
+			report.F(model.MFLOPS(el/flops), 0))
+	}
+	bench(spark.KernelSMV, "scalar CSR", "no", func() { suite.SMV(y, x) })
+	bench(spark.KernelBMV, "3x3 BCSR", "no", func() { suite.BMV(y, x) })
+	bench(spark.KernelSMVSym, "sym BCSR", "no", func() { suite.SMVSym(y, x) })
+	bench(spark.KernelSMVTh, "3x3 BCSR", fmt.Sprintf("%d threads", threads),
+		func() { suite.SMVTh(y, x, threads) })
+	bench(spark.KernelRMV, "sym BCSR", fmt.Sprintf("%d repl", threads),
+		func() { suite.RMV(y, x, threads) })
+	bench(spark.KernelLockMV, "sym BCSR", fmt.Sprintf("%d locks", threads),
+		func() { suite.LockMV(y, x, threads) })
+	return tab.Render(os.Stdout)
+}

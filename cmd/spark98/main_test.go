@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRun(t *testing.T) {
+	if err := run("sf10", 2, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("bogus", 2, 2); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}

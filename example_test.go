@@ -1,0 +1,77 @@
+package quake_test
+
+import (
+	"fmt"
+
+	quake "repro"
+)
+
+// The paper's running example: sf2 partitioned onto 128 subdomains
+// (Figure 7). Equation (1) turns a target efficiency and a processor
+// speed into a sustained bandwidth requirement.
+func ExampleRequiredBandwidth() {
+	app := quake.AppProperties{F: 838224, Cmax: 16260, Bmax: 50}
+	bw := quake.RequiredBandwidth(app, 0.9, 5e-9) // E=0.9 at 200 MFLOPS
+	fmt.Printf("sustained per-PE bandwidth: %.0f MB/s\n", quake.MBps(bw))
+	// Output:
+	// sustained per-PE bandwidth: 279 MB/s
+}
+
+// Equation (2) composes block latency and burst bandwidth into the
+// sustained rate a machine actually delivers, and hence an efficiency.
+func ExampleEfficiency() {
+	app := quake.AppProperties{F: 838224, Cmax: 16260, Bmax: 50}
+	t3e := quake.T3E() // measured: Tf=14ns, Tl=22µs, Tw=55ns
+	e := quake.Efficiency(app, t3e.Tf, t3e.Tl, t3e.Tw)
+	fmt.Printf("sf2/128 on the Cray T3E: %.0f%% efficient\n", 100*e)
+	// Output:
+	// sf2/128 on the Cray T3E: 85% efficient
+}
+
+// The half-bandwidth design rule (Figure 11): pick the point where
+// block latency and burst bandwidth each cost half the exchange.
+func ExampleHalfBandwidthPoint() {
+	app := quake.AppProperties{F: 838224, Cmax: 16260, Bmax: 50}
+	bw, lat := quake.HalfBandwidthPoint(app, 0.9, 5e-9)
+	fmt.Printf("burst %.0f MB/s at %.1f µs block latency\n", quake.MBps(bw), lat*1e6)
+	fixed := app.WithFixedBlocks(4) // cache-line transfers
+	_, latFixed := quake.HalfBandwidthPoint(fixed, 0.9, 5e-9)
+	fmt.Printf("with 4-word blocks: %.0f ns\n", latFixed*1e9)
+	// Output:
+	// burst 559 MB/s at 4.7 µs block latency
+	// with 4-word blocks: 57 ns
+}
+
+// Building a mesh and asking for its communication profile.
+func ExamplePartitionMesh() {
+	m, err := quake.SF10.Mesh()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	pt, err := quake.PartitionMesh(m, 16, quake.RCB, 1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	pr, err := quake.Analyze(m, pt)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("sf10 on 16 PEs: C_max=%d words, B_max=%d blocks, beta=%.2f\n",
+		pr.Cmax(), pr.Bmax(), pr.Beta())
+	// Output:
+	// sf10 on 16 PEs: C_max=2028 words, B_max=16 blocks, beta=1.00
+}
+
+// A dot product on a parallel machine is an allreduce — nearly pure
+// block latency, the communication implicit solvers add and the Quake
+// applications' explicit scheme avoids.
+func ExampleAllReduceTime() {
+	t3e := quake.T3E()
+	t := quake.AllReduceTime(128, 1, t3e.Tl, t3e.Tw)
+	fmt.Printf("single-word allreduce over 128 PEs: %.0f µs\n", t*1e6)
+	// Output:
+	// single-word allreduce over 128 PEs: 309 µs
+}

@@ -1,0 +1,75 @@
+// Netdesign plays communication-system architect, the way Section 4 of
+// the paper does: given a target efficiency and the sustained MFLOPS of
+// future processors, it derives the sustained bandwidth, burst
+// bandwidth, and block latency the network must deliver across the sf5
+// SMVP sweep, in both block regimes, and checks each machine preset
+// against the requirement.
+//
+//	go run ./examples/netdesign
+package main
+
+import (
+	"fmt"
+	"log"
+
+	quake "repro"
+)
+
+func main() {
+	const (
+		targetE = 0.9
+		tf      = 5e-9 // 200-MFLOP PEs, the paper's "future" machine
+	)
+	s := quake.SF5
+	rows, err := quake.Properties(s, quake.PECounts, quake.RCB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network requirements for %s at E=%.0f%% on %.0f-MFLOP PEs\n\n",
+		s.Name, targetE*100, quake.MFLOPS(tf))
+
+	fmt.Printf("%-6s %-14s %-22s %-22s\n", "PEs", "sustained MB/s",
+		"maximal blocks (bw,lat)", "4-word blocks (bw,lat)")
+	var worstBW, worstLat float64
+	worstLat = 1e9
+	for _, r := range rows {
+		app := r.App()
+		sustained := quake.MBps(quake.RequiredBandwidth(app, targetE, tf))
+		bwMax, latMax := quake.HalfBandwidthPoint(app, targetE, tf)
+		bwFix, latFix := quake.HalfBandwidthPoint(app.WithFixedBlocks(4), targetE, tf)
+		fmt.Printf("%-6d %-14.0f %7.0f MB/s %8.2fµs %7.0f MB/s %8.0fns\n",
+			r.P, sustained,
+			quake.MBps(bwMax), latMax*1e6,
+			quake.MBps(bwFix), latFix*1e9)
+		if b := quake.MBps(bwMax); b > worstBW {
+			worstBW = b
+		}
+		if latMax < worstLat {
+			worstLat = latMax
+		}
+	}
+	fmt.Printf("\ndesign point: burst bandwidth ≥ %.0f MB/s with block latency ≤ %.1f µs\n",
+		worstBW, worstLat*1e6)
+
+	// Score the presets against the hardest instance.
+	hardest := rows[len(rows)-1].App()
+	fmt.Printf("\nhow the presets fare on %s/%d:\n", s.Name, rows[len(rows)-1].P)
+	for _, m := range []quake.MachineParams{quake.T3D(), quake.T3E(), quake.Current100(), quake.Future200()} {
+		e := quake.Efficiency(hardest, m.Tf, m.Tl, m.Tw)
+		verdict := "MISSES the 90% target"
+		if e >= targetE {
+			verdict = "meets the 90% target"
+		}
+		fmt.Printf("  %-18s E=%.3f  %s\n", m.Name, e, verdict)
+	}
+
+	// Latency sensitivity: how efficiency degrades as block latency
+	// grows with everything else held at the future machine's values.
+	fmt.Println("\nlatency sensitivity on the future machine (sf5/128, maximal blocks):")
+	base := quake.Future200()
+	for _, tl := range []float64{0, 1e-6, 2e-6, 5e-6, 10e-6, 22e-6, 60e-6} {
+		e := quake.Efficiency(hardest, base.Tf, tl, base.Tw)
+		fmt.Printf("  T_l = %6.1f µs -> E = %.3f\n", tl*1e6, e)
+	}
+	fmt.Println("\nblock latency, not bandwidth, is the cliff — the paper's conclusion.")
+}

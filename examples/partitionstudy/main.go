@@ -1,0 +1,69 @@
+// Partitionstudy quantifies how much the partitioner matters: it
+// partitions the sf5 mesh onto 32 PEs with every method in the library,
+// compares the induced communication (C_max, B_max, β, bisection
+// volume), and translates the difference into modeled efficiency on the
+// measured Cray T3E. Geometric bisection's O(n^(2/3)) interfaces are
+// what make the paper's computation/communication ratios possible.
+//
+//	go run ./examples/partitionstudy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	quake "repro"
+)
+
+func main() {
+	s := quake.SF5
+	m, err := s.Mesh()
+	if err != nil {
+		log.Fatal(err)
+	}
+	const p = 32
+	t3e := quake.T3E()
+	fmt.Printf("partitioning %s (%d elements) onto %d PEs\n\n", s.Name, m.NumElems(), p)
+	fmt.Printf("%-10s %10s %8s %6s %6s %12s %10s %8s\n",
+		"method", "C_max", "B_max", "β", "imbal", "shared nodes", "bisection", "E(T3E)")
+
+	methods := []quake.Method{quake.RCB, quake.Inertial, quake.StripesZ, quake.Linear, quake.Random}
+	var rcbCmax int64
+	for _, method := range methods {
+		pt, err := quake.PartitionMesh(m, p, method, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pr, err := quake.Analyze(m, pt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		app := quake.AppProperties{F: pr.Fmax(), Cmax: pr.Cmax(), Bmax: pr.Bmax()}
+		e := quake.Efficiency(app, t3e.Tf, t3e.Tl, t3e.Tw)
+		fmt.Printf("%-10v %10d %8d %6.2f %6.2f %12d %10d %8.3f\n",
+			method, pr.Cmax(), pr.Bmax(), pr.Beta(), pr.LoadImbalance(),
+			pr.SharedNodes, pr.BisectionWords(), e)
+		if method == quake.RCB {
+			rcbCmax = pr.Cmax()
+		}
+	}
+
+	fmt.Println("\nsurface-to-volume scaling of geometric bisection (RCB):")
+	fmt.Printf("%-6s %10s %12s %14s\n", "PEs", "C_max", "F/C_max", "C_max·p^(-2/3)·…")
+	rows, err := quake.Properties(s, quake.PECounts, quake.RCB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("%-6d %10d %12.0f\n", r.P, r.Cmax, r.Ratio)
+	}
+	_ = rcbCmax
+	fmt.Println("\nF/C_max shrinks only ~2x per 10x problem growth (O(n^(1/3))):")
+	for _, sc := range []quake.Scenario{quake.SF10, quake.SF5} {
+		rows, err := quake.Properties(sc, []int{32}, quake.RCB)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s/32: F/C_max = %.0f\n", sc.Name, rows[0].Ratio)
+	}
+}

@@ -1,0 +1,87 @@
+// Quickstart: build a Quake mesh, partition it, and ask the paper's
+// question — what communication system does it need?
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	quake "repro"
+)
+
+func main() {
+	// 1. Build the sf10 mesh: a graded unstructured tetrahedral model
+	// of the San Fernando valley resolving 10-second waves.
+	s := quake.SF10
+	m, err := s.Mesh()
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := m.ComputeStats()
+	fmt.Printf("%s: %d nodes, %d elements, %d edges (avg %.1f neighbors/node)\n",
+		s.Name, st.Nodes, st.Elems, st.Edges, st.AvgDegree)
+
+	// 2. Partition it onto 16 PEs with recursive coordinate bisection
+	// and analyze the communication the partition induces.
+	pt, err := quake.PartitionMesh(m, 16, quake.RCB, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pr, err := quake.Analyze(m, pt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	app := quake.AppProperties{F: pr.Fmax(), Cmax: pr.Cmax(), Bmax: pr.Bmax()}
+	fmt.Printf("on 16 PEs: F=%d flops/PE, C_max=%d words, B_max=%d blocks, F/C_max=%.0f, β=%.2f\n",
+		app.F, app.Cmax, app.Bmax, pr.CompCommRatio(), pr.Beta())
+
+	// 3. Equation (1): the sustained per-PE bandwidth needed to run
+	// this SMVP at 90% efficiency on 200-MFLOP PEs.
+	bw := quake.RequiredBandwidth(app, 0.9, 5e-9)
+	fmt.Printf("sustained bandwidth for E=0.9 at 200 MFLOPS: %.0f MB/s per PE\n", quake.MBps(bw))
+
+	// 4. Equation (2): what the measured Cray T3E delivers, and the
+	// efficiency that implies.
+	t3e := quake.T3E()
+	e := quake.Efficiency(app, t3e.Tf, t3e.Tl, t3e.Tw)
+	fmt.Printf("modeled efficiency on the %s (T_f=%.0fns, T_l=%.0fµs, T_w=%.0fns): %.1f%%\n",
+		t3e.Name, t3e.Tf*1e9, t3e.Tl*1e6, t3e.Tw*1e9, 100*e)
+
+	// 5. Run the SMVP for real on goroutine PEs and confirm the
+	// distributed result matches the sequential one.
+	mat := quake.SanFernando()
+	sys, err := quake.Assemble(m, mat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dist, err := quake.NewDist(m, mat, pt, pr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	x := make([]float64, 3*m.NumNodes())
+	for i := range x {
+		x[i] = float64(i%5) * 0.3
+	}
+	seq := make([]float64, len(x))
+	sys.K.MulVec(seq, x)
+	par := make([]float64, len(x))
+	if _, err := dist.SMVP(par, x); err != nil {
+		log.Fatal(err)
+	}
+	var maxDiff float64
+	for i := range seq {
+		if d := abs(par[i] - seq[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	fmt.Printf("distributed SMVP matches sequential within %.2g\n", maxDiff)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

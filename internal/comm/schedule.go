@@ -1,0 +1,134 @@
+// Package comm turns a partition's PE-to-PE message matrix into explicit
+// communication schedules: per-PE ordered lists of block transfers. Two
+// aggregation regimes matter to the paper: maximal blocks (each PE sends
+// at most one block to each neighbor, as on a message-passing machine)
+// and fixed-size blocks (messages split into cache-line-sized transfer
+// units, as on a fine-grained shared-memory machine).
+package comm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Message is one block transfer of Words 64-bit words from PE From to
+// PE To.
+type Message struct {
+	From, To int32
+	Words    int64
+}
+
+// Schedule lists, for each PE, the blocks it sends during one exchange
+// phase, ordered by destination (then by split order for fixed-size
+// blocks). A schedule is what the machine simulator executes and what
+// the real goroutine runtime follows.
+type Schedule struct {
+	P   int
+	Out [][]Message
+}
+
+// FromMatrix builds a maximal-block schedule from a message matrix:
+// msg[i][j] words from PE i to PE j become one block. The matrix must be
+// square with a zero diagonal and non-negative entries.
+func FromMatrix(msg [][]int64) (*Schedule, error) {
+	p := len(msg)
+	s := &Schedule{P: p, Out: make([][]Message, p)}
+	for i := range msg {
+		if len(msg[i]) != p {
+			return nil, fmt.Errorf("comm: row %d has %d entries, want %d", i, len(msg[i]), p)
+		}
+		for j, w := range msg[i] {
+			switch {
+			case w < 0:
+				return nil, fmt.Errorf("comm: negative volume %d at (%d,%d)", w, i, j)
+			case i == j && w != 0:
+				return nil, fmt.Errorf("comm: self-message of %d words on PE %d", w, i)
+			case w > 0:
+				s.Out[i] = append(s.Out[i], Message{From: int32(i), To: int32(j), Words: w})
+			}
+		}
+		sort.Slice(s.Out[i], func(a, b int) bool { return s.Out[i][a].To < s.Out[i][b].To })
+	}
+	return s, nil
+}
+
+// SplitBlocks returns a new schedule in which every message is split
+// into blocks of at most w words (the fixed-size transfer-unit regime;
+// the final block of a message may be short). w must be positive.
+func (s *Schedule) SplitBlocks(w int64) *Schedule {
+	if w <= 0 {
+		panic(fmt.Sprintf("comm: block size must be positive, got %d", w))
+	}
+	out := &Schedule{P: s.P, Out: make([][]Message, s.P)}
+	for i, msgs := range s.Out {
+		for _, m := range msgs {
+			for rem := m.Words; rem > 0; rem -= w {
+				blk := m
+				if rem < w {
+					blk.Words = rem
+				} else {
+					blk.Words = w
+				}
+				out.Out[i] = append(out.Out[i], blk)
+			}
+		}
+	}
+	return out
+}
+
+// WordsPerPE returns, for each PE, the number of words it sends plus the
+// number it receives (the paper's C_i).
+func (s *Schedule) WordsPerPE() []int64 {
+	c := make([]int64, s.P)
+	for _, msgs := range s.Out {
+		for _, m := range msgs {
+			c[m.From] += m.Words
+			c[m.To] += m.Words
+		}
+	}
+	return c
+}
+
+// BlocksPerPE returns, for each PE, the number of blocks it sends plus
+// the number it receives (the paper's B_i).
+func (s *Schedule) BlocksPerPE() []int64 {
+	b := make([]int64, s.P)
+	for _, msgs := range s.Out {
+		for _, m := range msgs {
+			b[m.From]++
+			b[m.To]++
+		}
+	}
+	return b
+}
+
+// TotalBlocks returns the total number of blocks in the schedule.
+func (s *Schedule) TotalBlocks() int {
+	n := 0
+	for _, msgs := range s.Out {
+		n += len(msgs)
+	}
+	return n
+}
+
+// Validate checks internal consistency: in-range PE ids, positive
+// volumes, no self-messages.
+func (s *Schedule) Validate() error {
+	for i, msgs := range s.Out {
+		for _, m := range msgs {
+			if int(m.From) != i {
+				return fmt.Errorf("comm: message from %d stored under PE %d", m.From, i)
+			}
+			if m.To < 0 || int(m.To) >= s.P {
+				return fmt.Errorf("comm: message to out-of-range PE %d", m.To)
+			}
+			if m.To == m.From {
+				return fmt.Errorf("comm: self-message on PE %d", m.From)
+			}
+			if m.Words <= 0 {
+				return fmt.Errorf("comm: non-positive block of %d words", m.Words)
+			}
+		}
+	}
+	return nil
+}

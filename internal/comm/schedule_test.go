@@ -1,0 +1,133 @@
+package comm
+
+import (
+	"testing"
+)
+
+// matrix3 is a 3-PE example: PE0<->PE1 12 words, PE1<->PE2 6 words.
+func matrix3() [][]int64 {
+	return [][]int64{
+		{0, 12, 0},
+		{12, 0, 6},
+		{0, 6, 0},
+	}
+}
+
+func TestFromMatrix(t *testing.T) {
+	s, err := FromMatrix(matrix3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalBlocks() != 4 {
+		t.Errorf("TotalBlocks = %d, want 4", s.TotalBlocks())
+	}
+	c := s.WordsPerPE()
+	if c[0] != 24 || c[1] != 36 || c[2] != 12 {
+		t.Errorf("WordsPerPE = %v", c)
+	}
+	b := s.BlocksPerPE()
+	if b[0] != 2 || b[1] != 4 || b[2] != 2 {
+		t.Errorf("BlocksPerPE = %v", b)
+	}
+}
+
+func TestFromMatrixErrors(t *testing.T) {
+	if _, err := FromMatrix([][]int64{{0, 1}, {1, 0, 0}}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if _, err := FromMatrix([][]int64{{0, -1}, {1, 0}}); err == nil {
+		t.Error("negative volume accepted")
+	}
+	if _, err := FromMatrix([][]int64{{3, 1}, {1, 0}}); err == nil {
+		t.Error("self-message accepted")
+	}
+}
+
+func TestSplitBlocks(t *testing.T) {
+	s, err := FromMatrix(matrix3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := s.SplitBlocks(4)
+	if err := split.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 12 words -> 3 blocks of 4; 6 words -> 4+2.
+	if got := split.TotalBlocks(); got != 3+3+2+2 {
+		t.Errorf("TotalBlocks = %d, want 10", got)
+	}
+	// Word totals unchanged by splitting.
+	c0, c1 := s.WordsPerPE(), split.WordsPerPE()
+	for i := range c0 {
+		if c0[i] != c1[i] {
+			t.Errorf("PE %d words changed: %d -> %d", i, c0[i], c1[i])
+		}
+	}
+	// Every block at most 4 words, all positive.
+	for _, msgs := range split.Out {
+		for _, m := range msgs {
+			if m.Words <= 0 || m.Words > 4 {
+				t.Errorf("block of %d words", m.Words)
+			}
+		}
+	}
+	// Uneven tail: last block of the 6-word message is 2 words.
+	var sizes []int64
+	for _, m := range split.Out[1] {
+		if m.To == 2 {
+			sizes = append(sizes, m.Words)
+		}
+	}
+	if len(sizes) != 2 || sizes[0] != 4 || sizes[1] != 2 {
+		t.Errorf("6-word message split = %v, want [4 2]", sizes)
+	}
+}
+
+func TestSplitBlocksPanics(t *testing.T) {
+	s, _ := FromMatrix(matrix3())
+	defer func() {
+		if recover() == nil {
+			t.Error("SplitBlocks(0) did not panic")
+		}
+	}()
+	s.SplitBlocks(0)
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	s, _ := FromMatrix(matrix3())
+	s.Out[0][0].From = 2
+	if err := s.Validate(); err == nil {
+		t.Error("wrong From accepted")
+	}
+	s, _ = FromMatrix(matrix3())
+	s.Out[0][0].To = 99
+	if err := s.Validate(); err == nil {
+		t.Error("out-of-range To accepted")
+	}
+	s, _ = FromMatrix(matrix3())
+	s.Out[0][0].Words = 0
+	if err := s.Validate(); err == nil {
+		t.Error("zero-word block accepted")
+	}
+	s, _ = FromMatrix(matrix3())
+	s.Out[0][0].To = 0
+	if err := s.Validate(); err == nil {
+		t.Error("self-message accepted")
+	}
+}
+
+func TestEmptySchedule(t *testing.T) {
+	s, err := FromMatrix([][]int64{{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalBlocks() != 0 {
+		t.Error("single PE has blocks")
+	}
+	if c := s.WordsPerPE(); c[0] != 0 {
+		t.Error("single PE has words")
+	}
+}

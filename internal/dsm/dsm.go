@@ -1,0 +1,151 @@
+// Package dsm models the communication of the SMVP exchange on a
+// page-based software distributed shared memory system (the TreadMarks
+// class the paper cites as one possible block regime). On a DSM the
+// transfer unit is a page of the shared address space: a PE that needs
+// one partial sum from a neighbor faults the whole page containing it.
+// The words a PE needs are its shared nodes' entries in the neighbor's
+// vector layout, so the page-grain volume depends on how those nodes
+// cluster in the address space — node ordering suddenly matters to
+// communication, not just to cache behavior.
+//
+// The analysis computes, for a given partition and page size, the exact
+// set of pages each PE must fetch from each neighbor, yielding the
+// amplification factor over the word-exact message-passing volume and
+// the per-PE block (page) counts that plug into the paper's Equation 2.
+package dsm
+
+import (
+	"fmt"
+
+	"repro/internal/partition"
+)
+
+// Layout describes how nodal data is placed in each PE's shared
+// segment. The natural layout stores a PE's local vector contiguously
+// in local-node order (three words per node).
+type Layout struct {
+	// PageWords is the page size in 64-bit words (e.g. 512 for a 4 KB
+	// page).
+	PageWords int64
+}
+
+// Analysis reports the page-grain communication of one exchange phase.
+type Analysis struct {
+	PageWords int64
+	// Pages[i][j] is the number of distinct pages PE i must fetch from
+	// PE j (zero when they share nothing).
+	Pages [][]int64
+	// WordVolume is the exact (message passing) directed volume in
+	// words; PageVolume is the page-grain volume (pages × page size).
+	WordVolume int64
+	PageVolume int64
+	// B[i] and C[i] are per-PE block (page) and word counts under the
+	// DSM regime, counting both fetch directions like the paper's
+	// accounting.
+	B []int64
+	C []int64
+}
+
+// Amplification returns PageVolume / WordVolume — how much the page
+// grain inflates traffic (1.0 means no false sharing at all).
+func (a *Analysis) Amplification() float64 {
+	if a.WordVolume == 0 {
+		return 1
+	}
+	return float64(a.PageVolume) / float64(a.WordVolume)
+}
+
+// Bmax returns the maximum per-PE page count.
+func (a *Analysis) Bmax() int64 {
+	var m int64
+	for _, v := range a.B {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Cmax returns the maximum per-PE page-grain word count.
+func (a *Analysis) Cmax() int64 {
+	var m int64
+	for _, v := range a.C {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Analyze computes the page-grain exchange for a communication profile.
+// For every ordered PE pair (i ← j), the words PE i needs are the
+// shared nodes' three-word entries at their local indices in j's
+// segment; the pages are the distinct PageWords-sized ranges covering
+// those words.
+func Analyze(pr *partition.Profile, layout Layout) (*Analysis, error) {
+	if layout.PageWords <= 0 {
+		return nil, fmt.Errorf("dsm: page size must be positive, got %d", layout.PageWords)
+	}
+	p := pr.P
+	a := &Analysis{
+		PageWords: layout.PageWords,
+		Pages:     make([][]int64, p),
+		B:         make([]int64, p),
+		C:         make([]int64, p),
+	}
+	for i := range a.Pages {
+		a.Pages[i] = make([]int64, p)
+	}
+
+	// Local index of each node on each PE (position in the sorted
+	// resident list = position in the PE's vector segment).
+	localIndex := make([]map[int32]int64, p)
+	for pe := 0; pe < p; pe++ {
+		localIndex[pe] = make(map[int32]int64, len(pr.NodesOnPE[pe]))
+		for l, g := range pr.NodesOnPE[pe] {
+			localIndex[pe][g] = int64(l)
+		}
+	}
+
+	// For every node shared between a pair, PE i fetches the node's
+	// words from j's segment (and vice versa). Collect pages per
+	// ordered pair.
+	type pairKey struct{ dst, src int32 }
+	pages := make(map[pairKey]map[int64]struct{})
+	for g, pes := range pr.NodePEs {
+		if len(pes) < 2 {
+			continue
+		}
+		for x := 0; x < len(pes); x++ {
+			for y := 0; y < len(pes); y++ {
+				if x == y {
+					continue
+				}
+				dst, src := pes[x], pes[y]
+				l := localIndex[src][int32(g)]
+				firstWord := 3 * l
+				lastWord := firstWord + 2
+				k := pairKey{dst, src}
+				set, ok := pages[k]
+				if !ok {
+					set = make(map[int64]struct{})
+					pages[k] = set
+				}
+				for pg := firstWord / layout.PageWords; pg <= lastWord/layout.PageWords; pg++ {
+					set[pg] = struct{}{}
+				}
+				a.WordVolume += 3
+			}
+		}
+	}
+	for k, set := range pages {
+		n := int64(len(set))
+		a.Pages[k.dst][k.src] = n
+		a.PageVolume += n * layout.PageWords
+		a.B[k.dst] += n
+		a.B[k.src] += n // the source's segment is pulled across the network too
+		a.C[k.dst] += n * layout.PageWords
+		a.C[k.src] += n * layout.PageWords
+	}
+	return a, nil
+}

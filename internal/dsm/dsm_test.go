@@ -1,0 +1,134 @@
+package dsm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mesh"
+	"repro/internal/octree"
+	"repro/internal/partition"
+)
+
+func testProfile(t *testing.T, p int) *partition.Profile {
+	t.Helper()
+	cfg := octree.Config{Origin: geom.V(0, 0, 0), CubeSize: 1, Nx: 2, Ny: 2, Nz: 1, MaxDepth: 3}
+	h := func(q geom.Vec3) float64 { return math.Max(0.12, 0.35*q.Dist(geom.V(1, 1, 0))) }
+	tr, err := octree.Build(cfg, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mesh.FromTree(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := partition.PartitionMesh(m, p, partition.RCB, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := partition.Analyze(m, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pr
+}
+
+func TestAnalyzeRejectsBadPage(t *testing.T) {
+	pr := testProfile(t, 4)
+	if _, err := Analyze(pr, Layout{PageWords: 0}); err == nil {
+		t.Error("zero page size accepted")
+	}
+}
+
+func TestWordVolumeMatchesProfile(t *testing.T) {
+	pr := testProfile(t, 8)
+	a, err := Analyze(pr, Layout{PageWords: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The word-exact volume equals the profile's total directed volume.
+	if a.WordVolume != pr.TotalWords() {
+		t.Errorf("WordVolume = %d, profile total %d", a.WordVolume, pr.TotalWords())
+	}
+}
+
+func TestAmplificationMonotoneInPageSize(t *testing.T) {
+	pr := testProfile(t, 8)
+	prev := 0.0
+	for _, pw := range []int64{1, 4, 16, 64, 256, 1024} {
+		a, err := Analyze(pr, Layout{PageWords: pw})
+		if err != nil {
+			t.Fatal(err)
+		}
+		amp := a.Amplification()
+		if amp < 1 {
+			t.Fatalf("page %d: amplification %g < 1", pw, amp)
+		}
+		if amp < prev-1e-9 {
+			// Not strictly guaranteed for arbitrary layouts, but for
+			// 3-word records larger pages can only add unneeded words.
+			t.Fatalf("page %d: amplification fell: %g -> %g", pw, prev, amp)
+		}
+		prev = amp
+	}
+	// One-word pages have zero false sharing.
+	a, err := Analyze(pr, Layout{PageWords: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Amplification() != 1 {
+		t.Errorf("1-word pages amplification = %g, want exactly 1", a.Amplification())
+	}
+}
+
+func TestPageCountsConsistent(t *testing.T) {
+	pr := testProfile(t, 8)
+	a, err := Analyze(pr, Layout{PageWords: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pageSum int64
+	for i := 0; i < pr.P; i++ {
+		if a.Pages[i][i] != 0 {
+			t.Error("self pages")
+		}
+		for j := 0; j < pr.P; j++ {
+			if (a.Pages[i][j] > 0) != (pr.Msg[j][i] > 0) {
+				t.Errorf("page/message mismatch at (%d,%d)", i, j)
+			}
+			pageSum += a.Pages[i][j]
+		}
+	}
+	if a.PageVolume != pageSum*16 {
+		t.Errorf("PageVolume = %d, pages %d × 16", a.PageVolume, pageSum)
+	}
+	// Pages needed never exceed words needed (pages of ≥3 words hold at
+	// least one full record... with 16-word pages a 3-word record spans
+	// at most 2 pages).
+	for i := 0; i < pr.P; i++ {
+		for j := 0; j < pr.P; j++ {
+			words := pr.Msg[j][i] // words i needs from j
+			if a.Pages[i][j] > words {
+				t.Errorf("(%d,%d): %d pages for %d words", i, j, a.Pages[i][j], words)
+			}
+		}
+	}
+	if a.Bmax() <= 0 || a.Cmax() <= 0 {
+		t.Error("empty maxima")
+	}
+}
+
+func TestHugePagesCollapseToOne(t *testing.T) {
+	pr := testProfile(t, 4)
+	a, err := Analyze(pr, Layout{PageWords: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < pr.P; i++ {
+		for j := 0; j < pr.P; j++ {
+			if pr.Msg[j][i] > 0 && a.Pages[i][j] != 1 {
+				t.Errorf("(%d,%d): %d pages, want 1 giant page", i, j, a.Pages[i][j])
+			}
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package fem
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/material"
+)
+
+// AbsorbingDampers builds Lysmer-Kuhlemeyer viscous dampers on the
+// lateral and bottom faces of the domain, the standard way finite
+// element earthquake codes (including the Quake applications) keep
+// outgoing waves from reflecting off the artificial mesh boundary. For
+// each boundary face the damper applies a traction −ρ·Vp·v_n on the
+// normal velocity component and −ρ·Vs·v_t on the tangential ones,
+// lumped to the face's nodes. The free surface (z = domain top) is left
+// undamped.
+//
+// The result is a per-node 3×3 damping block to be used as C in
+// M·ü + C·u̇ + K·u = f; SimConfig.NodeDampers carries it into Run.
+type AbsorbingDampers struct {
+	// Blocks[i] is the 3×3 damping matrix of node i (row-major), zero
+	// for interior and free-surface nodes.
+	Blocks [][9]float64
+	// Faces is the number of boundary faces that received dampers.
+	Faces int
+}
+
+// BuildAbsorbingDampers scans the mesh for boundary faces (triangles
+// belonging to exactly one element) away from the free surface and
+// assembles the lumped damper blocks.
+func BuildAbsorbingDampers(s *System, mat *material.Model, surfaceZ float64) (*AbsorbingDampers, error) {
+	if err := mat.Validate(); err != nil {
+		return nil, err
+	}
+	m := s.Mesh
+	type tri [3]int32
+	// A face key maps to the number of adjacent elements.
+	count := make(map[tri]int8, 4*m.NumElems())
+	for _, tet := range m.Tets {
+		for omit := 0; omit < 4; omit++ {
+			var f tri
+			k := 0
+			for i := 0; i < 4; i++ {
+				if i != omit {
+					f[k] = tet[i]
+					k++
+				}
+			}
+			sort.Slice(f[:], func(a, b int) bool { return f[a] < f[b] })
+			count[f]++
+		}
+	}
+	out := &AbsorbingDampers{Blocks: make([][9]float64, m.NumNodes())}
+	const eps = 1e-9
+	for f, c := range count {
+		if c != 1 {
+			continue // interior face
+		}
+		a, b, cc := m.Coords[f[0]], m.Coords[f[1]], m.Coords[f[2]]
+		// Skip the free surface: all three nodes at surfaceZ.
+		if math.Abs(a.Z-surfaceZ) < eps && math.Abs(b.Z-surfaceZ) < eps && math.Abs(cc.Z-surfaceZ) < eps {
+			continue
+		}
+		area := geom.TriangleArea(a, b, cc)
+		if area == 0 {
+			return nil, fmt.Errorf("fem: degenerate boundary face %v", f)
+		}
+		n := b.Sub(a).Cross(cc.Sub(a)).Normalize()
+		centroid := a.Add(b).Add(cc).Scale(1.0 / 3)
+		_, mu, rho := mat.Elastic(centroid)
+		vs := math.Sqrt(mu / rho)
+		vp := vs * mat.VpVsRatio
+		// Damper per unit area: ρVp on normal, ρVs on tangent. As a
+		// tensor: ρVs·I + ρ(Vp−Vs)·n⊗n. Lump one third of the face to
+		// each node.
+		w := area / 3
+		cN := rho * (vp - vs) * w
+		cT := rho * vs * w
+		nn := [3]float64{n.X, n.Y, n.Z}
+		for _, node := range f {
+			blk := &out.Blocks[node]
+			for i := 0; i < 3; i++ {
+				for j := 0; j < 3; j++ {
+					blk[3*i+j] += cN * nn[i] * nn[j]
+					if i == j {
+						blk[3*i+j] += cT
+					}
+				}
+			}
+		}
+		out.Faces++
+	}
+	return out, nil
+}
+
+// Apply computes f -= C·v for every damped node.
+func (d *AbsorbingDampers) Apply(f, v []float64) {
+	for i := range d.Blocks {
+		blk := &d.Blocks[i]
+		if blk[0] == 0 && blk[4] == 0 && blk[8] == 0 {
+			continue
+		}
+		v0, v1, v2 := v[3*i], v[3*i+1], v[3*i+2]
+		f[3*i] -= blk[0]*v0 + blk[1]*v1 + blk[2]*v2
+		f[3*i+1] -= blk[3]*v0 + blk[4]*v1 + blk[5]*v2
+		f[3*i+2] -= blk[6]*v0 + blk[7]*v1 + blk[8]*v2
+	}
+}

@@ -1,0 +1,67 @@
+// Package fem assembles and advances the linear elastodynamic finite
+// element problem the Quake applications solve: seismic wave propagation
+// through a heterogeneous volume, discretized with linear tetrahedra and
+// integrated with an explicit central-difference scheme. Each time step
+// performs exactly one stiffness SMVP, which is why the paper can reduce
+// the whole application to the behavior of that kernel.
+package fem
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// ElementStiffness computes the 4×4 grid of 3×3 node-pair blocks of the
+// stiffness matrix of a linear (constant-strain) tetrahedron with
+// vertices v and isotropic Lamé parameters (lambda, mu). Block (a, b)
+// couples the three displacement DOF of vertex a to those of vertex b:
+//
+//	K_ab[i][j] = V·( λ·∂Nₐ/∂xᵢ·∂N_b/∂xⱼ + μ·∂Nₐ/∂xⱼ·∂N_b/∂xᵢ
+//	               + μ·δᵢⱼ·∇Nₐ·∇N_b )
+//
+// ok is false for degenerate elements.
+func ElementStiffness(v [4]geom.Vec3, lambda, mu float64) (blocks [4][4][9]float64, vol float64, ok bool) {
+	grads, vol, ok := geom.TetShapeGradients(v[0], v[1], v[2], v[3])
+	if !ok || vol <= 0 {
+		return blocks, vol, false
+	}
+	for a := 0; a < 4; a++ {
+		ga := [3]float64{grads[a].X, grads[a].Y, grads[a].Z}
+		for b := 0; b < 4; b++ {
+			gb := [3]float64{grads[b].X, grads[b].Y, grads[b].Z}
+			dot := ga[0]*gb[0] + ga[1]*gb[1] + ga[2]*gb[2]
+			for i := 0; i < 3; i++ {
+				for j := 0; j < 3; j++ {
+					val := lambda*ga[i]*gb[j] + mu*ga[j]*gb[i]
+					if i == j {
+						val += mu * dot
+					}
+					blocks[a][b][3*i+j] = vol * val
+				}
+			}
+		}
+	}
+	return blocks, vol, true
+}
+
+// ElementLumpedMass returns the lumped (row-sum) mass per vertex of a
+// tetrahedron with density rho: each vertex carries a quarter of the
+// element mass, identically in all three DOF.
+func ElementLumpedMass(v [4]geom.Vec3, rho float64) (perVertex float64, err error) {
+	vol := geom.TetVolume(v[0], v[1], v[2], v[3])
+	if vol <= 0 {
+		return 0, fmt.Errorf("fem: non-positive element volume %g", vol)
+	}
+	return rho * vol / 4, nil
+}
+
+// Ricker returns the value at time t of a Ricker wavelet with the given
+// peak (center) frequency fp and time delay t0. The Ricker wavelet is
+// the standard point-source time history in seismic modeling.
+func Ricker(t, fp, t0 float64) float64 {
+	a := math.Pi * fp * (t - t0)
+	a2 := a * a
+	return (1 - 2*a2) * math.Exp(-a2)
+}

@@ -1,0 +1,74 @@
+package geom
+
+import "fmt"
+
+// Box is an axis-aligned box [Lo, Hi] in 3-space. A Box with any
+// Hi component below the corresponding Lo component is empty.
+type Box struct {
+	Lo, Hi Vec3
+}
+
+// NewBox returns the axis-aligned box spanned by the two corner points,
+// which may be given in any order.
+func NewBox(a, b Vec3) Box { return Box{Min(a, b), Max(a, b)} }
+
+// Size returns the edge lengths of the box along each axis.
+func (b Box) Size() Vec3 { return b.Hi.Sub(b.Lo) }
+
+// Center returns the centroid of the box.
+func (b Box) Center() Vec3 { return b.Lo.Add(b.Hi).Scale(0.5) }
+
+// Volume returns the volume of the box (0 for empty boxes).
+func (b Box) Volume() float64 {
+	s := b.Size()
+	if s.X < 0 || s.Y < 0 || s.Z < 0 {
+		return 0
+	}
+	return s.X * s.Y * s.Z
+}
+
+// Contains reports whether p lies inside or on the boundary of b.
+func (b Box) Contains(p Vec3) bool {
+	return p.X >= b.Lo.X && p.X <= b.Hi.X &&
+		p.Y >= b.Lo.Y && p.Y <= b.Hi.Y &&
+		p.Z >= b.Lo.Z && p.Z <= b.Hi.Z
+}
+
+// Intersects reports whether b and o share any point.
+func (b Box) Intersects(o Box) bool {
+	return b.Lo.X <= o.Hi.X && o.Lo.X <= b.Hi.X &&
+		b.Lo.Y <= o.Hi.Y && o.Lo.Y <= b.Hi.Y &&
+		b.Lo.Z <= o.Hi.Z && o.Lo.Z <= b.Hi.Z
+}
+
+// Expand returns b grown by eps on every side.
+func (b Box) Expand(eps float64) Box {
+	d := Vec3{eps, eps, eps}
+	return Box{b.Lo.Sub(d), b.Hi.Add(d)}
+}
+
+// Union returns the smallest box containing both b and o.
+func (b Box) Union(o Box) Box { return Box{Min(b.Lo, o.Lo), Max(b.Hi, o.Hi)} }
+
+// LongestAxis returns the axis (0, 1, or 2) along which the box is
+// longest, preferring the lowest axis on ties.
+func (b Box) LongestAxis() int {
+	s := b.Size()
+	axis := 0
+	best := s.X
+	if s.Y > best {
+		axis, best = 1, s.Y
+	}
+	if s.Z > best {
+		axis = 2
+	}
+	return axis
+}
+
+// MaxDim returns the length of the longest edge of the box.
+func (b Box) MaxDim() float64 {
+	return b.Size().Component(b.LongestAxis())
+}
+
+// String implements fmt.Stringer.
+func (b Box) String() string { return fmt.Sprintf("[%v .. %v]", b.Lo, b.Hi) }

@@ -1,0 +1,115 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewBoxOrdersCorners(t *testing.T) {
+	b := NewBox(V(3, -1, 5), V(1, 2, 4))
+	if b.Lo != V(1, -1, 4) || b.Hi != V(3, 2, 5) {
+		t.Errorf("NewBox = %v", b)
+	}
+}
+
+func TestBoxSizeCenterVolume(t *testing.T) {
+	b := NewBox(V(0, 0, 0), V(2, 4, 6))
+	if b.Size() != V(2, 4, 6) {
+		t.Errorf("Size = %v", b.Size())
+	}
+	if b.Center() != V(1, 2, 3) {
+		t.Errorf("Center = %v", b.Center())
+	}
+	if b.Volume() != 48 {
+		t.Errorf("Volume = %v", b.Volume())
+	}
+	empty := Box{V(1, 1, 1), V(0, 2, 2)}
+	if empty.Volume() != 0 {
+		t.Errorf("empty Volume = %v", empty.Volume())
+	}
+}
+
+func TestBoxContains(t *testing.T) {
+	b := NewBox(V(0, 0, 0), V(1, 1, 1))
+	cases := []struct {
+		p    Vec3
+		want bool
+	}{
+		{V(0.5, 0.5, 0.5), true},
+		{V(0, 0, 0), true},
+		{V(1, 1, 1), true},
+		{V(1.0001, 0.5, 0.5), false},
+		{V(0.5, -0.0001, 0.5), false},
+	}
+	for _, c := range cases {
+		if got := b.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestBoxIntersects(t *testing.T) {
+	a := NewBox(V(0, 0, 0), V(2, 2, 2))
+	if !a.Intersects(NewBox(V(1, 1, 1), V(3, 3, 3))) {
+		t.Error("overlapping boxes reported disjoint")
+	}
+	if !a.Intersects(NewBox(V(2, 0, 0), V(3, 1, 1))) {
+		t.Error("touching boxes reported disjoint")
+	}
+	if a.Intersects(NewBox(V(2.1, 0, 0), V(3, 1, 1))) {
+		t.Error("disjoint boxes reported overlapping")
+	}
+}
+
+func TestBoxExpandUnion(t *testing.T) {
+	a := NewBox(V(0, 0, 0), V(1, 1, 1))
+	e := a.Expand(0.5)
+	if e.Lo != V(-0.5, -0.5, -0.5) || e.Hi != V(1.5, 1.5, 1.5) {
+		t.Errorf("Expand = %v", e)
+	}
+	u := a.Union(NewBox(V(2, -1, 0), V(3, 0.5, 2)))
+	if u.Lo != V(0, -1, 0) || u.Hi != V(3, 1, 2) {
+		t.Errorf("Union = %v", u)
+	}
+}
+
+func TestBoxLongestAxis(t *testing.T) {
+	cases := []struct {
+		b    Box
+		want int
+	}{
+		{NewBox(V(0, 0, 0), V(3, 1, 2)), 0},
+		{NewBox(V(0, 0, 0), V(1, 3, 2)), 1},
+		{NewBox(V(0, 0, 0), V(1, 2, 3)), 2},
+		{NewBox(V(0, 0, 0), V(2, 2, 2)), 0}, // tie prefers lowest axis
+	}
+	for _, c := range cases {
+		if got := c.b.LongestAxis(); got != c.want {
+			t.Errorf("LongestAxis(%v) = %d, want %d", c.b, got, c.want)
+		}
+		if got := c.b.MaxDim(); got != c.b.Size().Component(c.want) {
+			t.Errorf("MaxDim(%v) = %v", c.b, got)
+		}
+	}
+}
+
+func TestQuickBoxUnionContains(t *testing.T) {
+	f := func(a, b, c, d Vec3) bool {
+		b1, b2 := NewBox(a, b), NewBox(c, d)
+		u := b1.Union(b2)
+		return u.Contains(b1.Lo) && u.Contains(b1.Hi) && u.Contains(b2.Lo) && u.Contains(b2.Hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBoxCenterInside(t *testing.T) {
+	f := func(a, b Vec3) bool {
+		box := NewBox(a, b)
+		return box.Contains(box.Center())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

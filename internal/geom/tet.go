@@ -1,0 +1,65 @@
+package geom
+
+import "math"
+
+// TetVolume returns the signed volume of the tetrahedron (a, b, c, d).
+// The volume is positive when (b-a, c-a, d-a) form a right-handed frame.
+func TetVolume(a, b, c, d Vec3) float64 {
+	return b.Sub(a).Cross(c.Sub(a)).Dot(d.Sub(a)) / 6
+}
+
+// TetCentroid returns the centroid of the tetrahedron (a, b, c, d).
+func TetCentroid(a, b, c, d Vec3) Vec3 {
+	return a.Add(b).Add(c).Add(d).Scale(0.25)
+}
+
+// TriangleArea returns the (unsigned) area of the triangle (a, b, c).
+func TriangleArea(a, b, c Vec3) float64 {
+	return b.Sub(a).Cross(c.Sub(a)).Norm() / 2
+}
+
+// TetAspectRatio returns the ratio of the longest edge of the tetrahedron
+// to the diameter of its inscribed sphere; equilateral tetrahedra have
+// the minimum possible value of about 2.45 (sqrt(6)), and degenerate
+// tetrahedra report +Inf.
+func TetAspectRatio(a, b, c, d Vec3) float64 {
+	vol := math.Abs(TetVolume(a, b, c, d))
+	if vol == 0 {
+		return math.Inf(1)
+	}
+	// Inradius r = 3V / (total face area).
+	area := TriangleArea(a, b, c) + TriangleArea(a, b, d) +
+		TriangleArea(a, c, d) + TriangleArea(b, c, d)
+	r := 3 * vol / area
+	longest := 0.0
+	pts := [4]Vec3{a, b, c, d}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if e := pts[i].Dist(pts[j]); e > longest {
+				longest = e
+			}
+		}
+	}
+	return longest / (2 * r)
+}
+
+// TetShapeGradients computes the constant gradients of the four linear
+// shape functions of the tetrahedron (a, b, c, d) along with its signed
+// volume. For a linear tetrahedron the shape function N_i is 1 at vertex
+// i and 0 at the others, and its gradient is constant over the element.
+// If the element is degenerate (zero volume) ok is false.
+func TetShapeGradients(a, b, c, d Vec3) (grads [4]Vec3, vol float64, ok bool) {
+	vol = TetVolume(a, b, c, d)
+	if vol == 0 {
+		return grads, 0, false
+	}
+	// grad N_i = (opposite face normal, inward) / (3 V_i-scaled). For
+	// vertex a the opposite face is (b, c, d); the gradient is
+	// (c-b)×(d-b) / (6 V), with signs arranged so sum of gradients is 0.
+	inv6V := 1 / (6 * vol)
+	grads[0] = c.Sub(b).Cross(d.Sub(b)).Scale(-inv6V)
+	grads[1] = c.Sub(a).Cross(d.Sub(a)).Scale(inv6V)
+	grads[2] = b.Sub(a).Cross(d.Sub(a)).Scale(-inv6V)
+	grads[3] = b.Sub(a).Cross(c.Sub(a)).Scale(inv6V)
+	return grads, vol, true
+}

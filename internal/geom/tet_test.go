@@ -1,0 +1,128 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// unitTet is the canonical right tetrahedron with volume 1/6.
+var unitTet = [4]Vec3{V(0, 0, 0), V(1, 0, 0), V(0, 1, 0), V(0, 0, 1)}
+
+func TestTetVolumeUnit(t *testing.T) {
+	got := TetVolume(unitTet[0], unitTet[1], unitTet[2], unitTet[3])
+	if !almostEq(got, 1.0/6, 1e-15) {
+		t.Errorf("volume = %v, want 1/6", got)
+	}
+	// Swapping two vertices negates the volume.
+	neg := TetVolume(unitTet[1], unitTet[0], unitTet[2], unitTet[3])
+	if !almostEq(neg, -1.0/6, 1e-15) {
+		t.Errorf("swapped volume = %v, want -1/6", neg)
+	}
+}
+
+func TestTetVolumeDegenerate(t *testing.T) {
+	// Four coplanar points.
+	got := TetVolume(V(0, 0, 0), V(1, 0, 0), V(0, 1, 0), V(1, 1, 0))
+	if got != 0 {
+		t.Errorf("coplanar volume = %v", got)
+	}
+}
+
+func TestTetCentroid(t *testing.T) {
+	got := TetCentroid(unitTet[0], unitTet[1], unitTet[2], unitTet[3])
+	if !vecAlmostEq(got, V(0.25, 0.25, 0.25), 1e-15) {
+		t.Errorf("centroid = %v", got)
+	}
+}
+
+func TestTriangleArea(t *testing.T) {
+	got := TriangleArea(V(0, 0, 0), V(2, 0, 0), V(0, 2, 0))
+	if !almostEq(got, 2, 1e-15) {
+		t.Errorf("area = %v, want 2", got)
+	}
+}
+
+func TestTetAspectRatio(t *testing.T) {
+	// Regular tetrahedron: aspect ratio = sqrt(6) ≈ 2.449.
+	a := V(1, 1, 1)
+	b := V(1, -1, -1)
+	c := V(-1, 1, -1)
+	d := V(-1, -1, 1)
+	got := TetAspectRatio(a, b, c, d)
+	if !almostEq(got, math.Sqrt(6), 1e-12) {
+		t.Errorf("regular aspect = %v, want %v", got, math.Sqrt(6))
+	}
+	if !math.IsInf(TetAspectRatio(V(0, 0, 0), V(1, 0, 0), V(2, 0, 0), V(3, 0, 0)), 1) {
+		t.Error("degenerate aspect not +Inf")
+	}
+}
+
+func TestTetShapeGradients(t *testing.T) {
+	grads, vol, ok := TetShapeGradients(unitTet[0], unitTet[1], unitTet[2], unitTet[3])
+	if !ok {
+		t.Fatal("unit tet reported degenerate")
+	}
+	if !almostEq(vol, 1.0/6, 1e-15) {
+		t.Errorf("vol = %v", vol)
+	}
+	// For the unit right tet: N0 = 1-x-y-z, N1 = x, N2 = y, N3 = z.
+	want := [4]Vec3{V(-1, -1, -1), V(1, 0, 0), V(0, 1, 0), V(0, 0, 1)}
+	for i := range grads {
+		if !vecAlmostEq(grads[i], want[i], 1e-12) {
+			t.Errorf("grad[%d] = %v, want %v", i, grads[i], want[i])
+		}
+	}
+	if _, _, ok := TetShapeGradients(V(0, 0, 0), V(1, 0, 0), V(2, 0, 0), V(3, 0, 0)); ok {
+		t.Error("degenerate tet reported ok")
+	}
+}
+
+// Property: shape function gradients sum to zero (partition of unity),
+// and grad N_i dotted with edge (v_j - v_i) recovers the Kronecker
+// structure N_i(v_j) = δ_ij for linear elements.
+func TestQuickShapeGradientPartitionOfUnity(t *testing.T) {
+	f := func(a, b, c, d Vec3) bool {
+		grads, vol, ok := TetShapeGradients(a, b, c, d)
+		if !ok || math.Abs(vol) < 1e-6 {
+			return true // skip near-degenerate draws
+		}
+		sum := grads[0].Add(grads[1]).Add(grads[2]).Add(grads[3])
+		scale := grads[0].Norm() + grads[1].Norm() + grads[2].Norm() + grads[3].Norm()
+		if sum.Norm() > 1e-9*(1+scale) {
+			return false
+		}
+		verts := [4]Vec3{a, b, c, d}
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				// N_i(v_j) = N_i(v_i) + grad·(v_j - v_i) must be δ_ij.
+				val := grads[i].Dot(verts[j].Sub(verts[i]))
+				want := 0.0
+				if i != j {
+					want = -1 // N_i drops from 1 at v_i to 0 at v_j
+				}
+				if math.Abs(val-want) > 1e-6*(1+grads[i].Norm()*verts[j].Sub(verts[i]).Norm()) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: volume is invariant under even permutations of vertices.
+func TestQuickVolumePermutation(t *testing.T) {
+	f := func(a, b, c, d Vec3) bool {
+		v1 := TetVolume(a, b, c, d)
+		v2 := TetVolume(b, c, a, d) // even permutation
+		v3 := TetVolume(b, a, c, d) // odd permutation
+		tol := 1e-9 * (1 + math.Abs(v1))
+		return math.Abs(v1-v2) < tol && math.Abs(v1+v3) < tol
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,102 @@
+// Package geom provides the small amount of 3D geometry needed by the
+// mesher, partitioner, and finite element assembly: vectors, axis-aligned
+// boxes, and tetrahedron measures. All coordinates are float64 and the
+// units throughout the repository are kilometers unless stated otherwise.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec3 is a point or direction in 3-space.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// V is shorthand for constructing a Vec3.
+func V(x, y, z float64) Vec3 { return Vec3{x, y, z} }
+
+// Add returns a + b.
+func (a Vec3) Add(b Vec3) Vec3 { return Vec3{a.X + b.X, a.Y + b.Y, a.Z + b.Z} }
+
+// Sub returns a - b.
+func (a Vec3) Sub(b Vec3) Vec3 { return Vec3{a.X - b.X, a.Y - b.Y, a.Z - b.Z} }
+
+// Scale returns s*a.
+func (a Vec3) Scale(s float64) Vec3 { return Vec3{s * a.X, s * a.Y, s * a.Z} }
+
+// Dot returns the dot product a·b.
+func (a Vec3) Dot(b Vec3) float64 { return a.X*b.X + a.Y*b.Y + a.Z*b.Z }
+
+// Cross returns the cross product a×b.
+func (a Vec3) Cross(b Vec3) Vec3 {
+	return Vec3{
+		a.Y*b.Z - a.Z*b.Y,
+		a.Z*b.X - a.X*b.Z,
+		a.X*b.Y - a.Y*b.X,
+	}
+}
+
+// Norm returns the Euclidean length of a.
+func (a Vec3) Norm() float64 { return math.Sqrt(a.Dot(a)) }
+
+// Norm2 returns the squared Euclidean length of a.
+func (a Vec3) Norm2() float64 { return a.Dot(a) }
+
+// Dist returns the Euclidean distance between a and b.
+func (a Vec3) Dist(b Vec3) float64 { return a.Sub(b).Norm() }
+
+// Normalize returns a unit vector in the direction of a. The zero vector
+// is returned unchanged.
+func (a Vec3) Normalize() Vec3 {
+	n := a.Norm()
+	if n == 0 {
+		return a
+	}
+	return a.Scale(1 / n)
+}
+
+// Component returns the axis-th coordinate (0=X, 1=Y, 2=Z).
+func (a Vec3) Component(axis int) float64 {
+	switch axis {
+	case 0:
+		return a.X
+	case 1:
+		return a.Y
+	case 2:
+		return a.Z
+	}
+	panic(fmt.Sprintf("geom: invalid axis %d", axis))
+}
+
+// WithComponent returns a copy of a with the axis-th coordinate set to v.
+func (a Vec3) WithComponent(axis int, v float64) Vec3 {
+	switch axis {
+	case 0:
+		a.X = v
+	case 1:
+		a.Y = v
+	case 2:
+		a.Z = v
+	default:
+		panic(fmt.Sprintf("geom: invalid axis %d", axis))
+	}
+	return a
+}
+
+// String implements fmt.Stringer.
+func (a Vec3) String() string { return fmt.Sprintf("(%g, %g, %g)", a.X, a.Y, a.Z) }
+
+// Lerp linearly interpolates between a (t=0) and b (t=1).
+func Lerp(a, b Vec3, t float64) Vec3 { return a.Add(b.Sub(a).Scale(t)) }
+
+// Min returns the component-wise minimum of a and b.
+func Min(a, b Vec3) Vec3 {
+	return Vec3{math.Min(a.X, b.X), math.Min(a.Y, b.Y), math.Min(a.Z, b.Z)}
+}
+
+// Max returns the component-wise maximum of a and b.
+func Max(a, b Vec3) Vec3 {
+	return Vec3{math.Max(a.X, b.X), math.Max(a.Y, b.Y), math.Max(a.Z, b.Z)}
+}

@@ -1,0 +1,158 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func vecAlmostEq(a, b Vec3, tol float64) bool {
+	return almostEq(a.X, b.X, tol) && almostEq(a.Y, b.Y, tol) && almostEq(a.Z, b.Z, tol)
+}
+
+// Generate implements quick.Generator so quick-check draws bounded,
+// well-conditioned vectors instead of arbitrary float64 bit patterns.
+func (Vec3) Generate(r *rand.Rand, _ int) reflect.Value { return reflect.ValueOf(genVec(r)) }
+
+func genVec(r *rand.Rand) Vec3 {
+	return Vec3{r.Float64()*200 - 100, r.Float64()*200 - 100, r.Float64()*200 - 100}
+}
+
+func TestVecBasicOps(t *testing.T) {
+	a := V(1, 2, 3)
+	b := V(4, -5, 6)
+	if got := a.Add(b); got != V(5, -3, 9) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != V(-3, 7, -3) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != V(2, 4, 6) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 4-10+18 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := V(1, 0, 0).Cross(V(0, 1, 0)); got != V(0, 0, 1) {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := V(3, 4, 0).Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := V(3, 4, 0).Norm2(); got != 25 {
+		t.Errorf("Norm2 = %v", got)
+	}
+	if got := V(0, 3, 4).Dist(V(0, 0, 0)); got != 5 {
+		t.Errorf("Dist = %v", got)
+	}
+}
+
+func TestVecComponentAccess(t *testing.T) {
+	a := V(7, 8, 9)
+	for axis, want := range []float64{7, 8, 9} {
+		if got := a.Component(axis); got != want {
+			t.Errorf("Component(%d) = %v, want %v", axis, got, want)
+		}
+	}
+	if got := a.WithComponent(1, -1); got != V(7, -1, 9) {
+		t.Errorf("WithComponent = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Component(3) did not panic")
+		}
+	}()
+	a.Component(3)
+}
+
+func TestVecWithComponentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("WithComponent(-1) did not panic")
+		}
+	}()
+	V(0, 0, 0).WithComponent(-1, 1)
+}
+
+func TestNormalize(t *testing.T) {
+	if got := V(0, 0, 0).Normalize(); got != V(0, 0, 0) {
+		t.Errorf("Normalize(0) = %v", got)
+	}
+	n := V(3, 4, 12).Normalize()
+	if !almostEq(n.Norm(), 1, 1e-14) {
+		t.Errorf("|Normalize| = %v", n.Norm())
+	}
+}
+
+func TestLerp(t *testing.T) {
+	a, b := V(0, 0, 0), V(2, 4, 6)
+	if got := Lerp(a, b, 0.5); got != V(1, 2, 3) {
+		t.Errorf("Lerp = %v", got)
+	}
+	if got := Lerp(a, b, 0); got != a {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := Lerp(a, b, 1); got != b {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	a, b := V(1, 5, -2), V(3, -4, 0)
+	if got := Min(a, b); got != V(1, -4, -2) {
+		t.Errorf("Min = %v", got)
+	}
+	if got := Max(a, b); got != V(3, 5, 0) {
+		t.Errorf("Max = %v", got)
+	}
+}
+
+func TestQuickCrossOrthogonal(t *testing.T) {
+	f := func(a, b Vec3) bool {
+		c := a.Cross(b)
+		// c ⟂ a and c ⟂ b up to rounding.
+		tol := 1e-9 * (1 + a.Norm()*b.Norm())
+		return math.Abs(c.Dot(a)) < tol*(1+c.Norm()) && math.Abs(c.Dot(b)) < tol*(1+c.Norm())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDotSymmetric(t *testing.T) {
+	f := func(a, b Vec3) bool { return a.Dot(b) == b.Dot(a) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAddSubRoundtrip(t *testing.T) {
+	f := func(a, b Vec3) bool { return vecAlmostEq(a.Add(b).Sub(b), a, 1e-12) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLagrangeIdentity(t *testing.T) {
+	// |a×b|² + (a·b)² = |a|²|b|².
+	f := func(a, b Vec3) bool {
+		lhs := a.Cross(b).Norm2() + a.Dot(b)*a.Dot(b)
+		rhs := a.Norm2() * b.Norm2()
+		return almostEq(lhs, rhs, 1e-10)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := V(1, 2.5, -3).String(); got != "(1, 2.5, -3)" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,170 @@
+// Package material models the elastic properties of the ground beneath
+// an alluvial valley, in the spirit of the San Fernando Valley model used
+// by the Quake applications. The model is a hard-rock halfspace with an
+// embedded ellipsoidal basin of soft sediments whose stiffness increases
+// with depth. Seismic wavelength is proportional to shear-wave velocity,
+// so the mesh sizing function derived from this model is fine in the soft
+// basin and coarse in rock — exactly the grading that makes the Quake
+// meshes irregular.
+//
+// Coordinates: x and y are horizontal (km), z is depth below the free
+// surface (km, increasing downward). All velocities are km/s, densities
+// are in 10^12 kg/km^3 (equivalently g/cm^3), which makes μ = ρ·Vs²
+// come out in convenient GPa-like units.
+package material
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Model describes a rock halfspace with one soft ellipsoidal basin.
+type Model struct {
+	// RockVs is the shear-wave velocity of the bedrock halfspace.
+	RockVs float64
+	// BasinVsSurface is the shear-wave velocity of the basin sediments
+	// at the free surface (the softest material in the model).
+	BasinVsSurface float64
+	// BasinVsGradient is the increase of sediment Vs per km of depth.
+	BasinVsGradient float64
+	// BasinCenter is the center of the basin ellipsoid at the surface
+	// (its Z component is the depth of the ellipsoid center).
+	BasinCenter geom.Vec3
+	// BasinSemi holds the ellipsoid semi-axes (km).
+	BasinSemi geom.Vec3
+	// VpVsRatio relates compressional to shear velocity (typically ~2
+	// for sediments, √3 for a Poisson solid).
+	VpVsRatio float64
+	// RockDensity and BasinDensity in g/cm³.
+	RockDensity, BasinDensity float64
+}
+
+// SanFernando returns a model with properties representative of the San
+// Fernando Valley simulations: very soft sediments (Vs down to 0.4 km/s
+// near the surface) in a shallow basin within hard rock (Vs = 3 km/s).
+func SanFernando() *Model {
+	return &Model{
+		RockVs:          3.0,
+		BasinVsSurface:  0.4,
+		BasinVsGradient: 0.25,
+		BasinCenter:     geom.V(25, 25, 0),
+		BasinSemi:       geom.V(20, 16, 4),
+		VpVsRatio:       2.0,
+		RockDensity:     2.6,
+		BasinDensity:    2.0,
+	}
+}
+
+// Uniform returns a model with no basin: a homogeneous halfspace with
+// the given shear velocity. Meshes graded by it are uniform, which
+// turns the "irregular" Quake workload into its regular counterpart —
+// the contrast the paper draws against regular grid applications.
+func Uniform(vs float64) *Model {
+	return &Model{
+		RockVs:          vs,
+		BasinVsSurface:  vs,
+		BasinVsGradient: 0,
+		BasinCenter:     geom.V(0, 0, 0),
+		BasinSemi:       geom.V(1e-9, 1e-9, 1e-9),
+		VpVsRatio:       2.0,
+		RockDensity:     2.6,
+		BasinDensity:    2.6,
+	}
+}
+
+// Validate reports whether the model parameters are physically usable.
+func (m *Model) Validate() error {
+	switch {
+	case m.RockVs <= 0:
+		return fmt.Errorf("material: RockVs must be positive, got %g", m.RockVs)
+	case m.BasinVsSurface <= 0:
+		return fmt.Errorf("material: BasinVsSurface must be positive, got %g", m.BasinVsSurface)
+	case m.BasinVsSurface > m.RockVs:
+		return fmt.Errorf("material: basin (%g) must be softer than rock (%g)", m.BasinVsSurface, m.RockVs)
+	case m.BasinSemi.X <= 0 || m.BasinSemi.Y <= 0 || m.BasinSemi.Z <= 0:
+		return fmt.Errorf("material: basin semi-axes must be positive, got %v", m.BasinSemi)
+	case m.VpVsRatio <= 1:
+		return fmt.Errorf("material: VpVsRatio must exceed 1, got %g", m.VpVsRatio)
+	case m.RockDensity <= 0 || m.BasinDensity <= 0:
+		return fmt.Errorf("material: densities must be positive")
+	}
+	return nil
+}
+
+// basinCoord returns the normalized ellipsoid coordinate of p: values
+// below 1 are inside the basin.
+func (m *Model) basinCoord(p geom.Vec3) float64 {
+	d := p.Sub(m.BasinCenter)
+	dx := d.X / m.BasinSemi.X
+	dy := d.Y / m.BasinSemi.Y
+	dz := d.Z / m.BasinSemi.Z
+	return math.Sqrt(dx*dx + dy*dy + dz*dz)
+}
+
+// InBasin reports whether p lies inside the sediment basin.
+func (m *Model) InBasin(p geom.Vec3) bool { return m.basinCoord(p) < 1 }
+
+// ShearVelocity returns the shear-wave velocity Vs at p. Inside the
+// basin the sediments stiffen with depth and blend smoothly into rock at
+// the basin boundary; outside, the rock velocity applies.
+func (m *Model) ShearVelocity(p geom.Vec3) float64 {
+	r := m.basinCoord(p)
+	if r >= 1 {
+		return m.RockVs
+	}
+	sediment := m.BasinVsSurface + m.BasinVsGradient*math.Max(0, p.Z)
+	if sediment > m.RockVs {
+		sediment = m.RockVs
+	}
+	// Blend sediment into rock over the outer 20% of the ellipsoid so
+	// the velocity field (and hence the sizing function) is continuous.
+	const blendStart = 0.8
+	if r <= blendStart {
+		return sediment
+	}
+	t := (r - blendStart) / (1 - blendStart)
+	return sediment + t*(m.RockVs-sediment)
+}
+
+// Density returns the mass density at p in g/cm³.
+func (m *Model) Density(p geom.Vec3) float64 {
+	if m.InBasin(p) {
+		return m.BasinDensity
+	}
+	return m.RockDensity
+}
+
+// Elastic returns the Lamé parameters (λ, μ) and density ρ at p, in the
+// unit system of the package (μ and λ come out in GPa when velocities
+// are km/s and densities g/cm³).
+func (m *Model) Elastic(p geom.Vec3) (lambda, mu, rho float64) {
+	vs := m.ShearVelocity(p)
+	vp := vs * m.VpVsRatio
+	rho = m.Density(p)
+	mu = rho * vs * vs
+	lambda = rho*vp*vp - 2*mu
+	return lambda, mu, rho
+}
+
+// Wavelength returns the local shear wavelength for a wave of the given
+// period (seconds): λ = Vs · T.
+func (m *Model) Wavelength(p geom.Vec3, period float64) float64 {
+	return m.ShearVelocity(p) * period
+}
+
+// Sizing returns a mesh sizing function for resolving waves of the given
+// period with pointsPerWavelength nodes per wavelength: the target
+// element edge at p is Vs(p)·T / ppw. This is the rule the paper cites:
+// "the size of elements in any region of the mesh must be matched to the
+// wavelength of ground motion".
+func (m *Model) Sizing(period, pointsPerWavelength float64) func(geom.Vec3) float64 {
+	if period <= 0 || pointsPerWavelength <= 0 {
+		panic(fmt.Sprintf("material: period (%g) and points per wavelength (%g) must be positive",
+			period, pointsPerWavelength))
+	}
+	return func(p geom.Vec3) float64 {
+		return m.Wavelength(p, period) / pointsPerWavelength
+	}
+}

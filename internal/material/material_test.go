@@ -1,0 +1,170 @@
+package material
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestSanFernandoValid(t *testing.T) {
+	if err := SanFernando().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	mods := []func(*Model){
+		func(m *Model) { m.RockVs = 0 },
+		func(m *Model) { m.BasinVsSurface = -1 },
+		func(m *Model) { m.BasinVsSurface = m.RockVs + 1 },
+		func(m *Model) { m.BasinSemi = geom.V(0, 1, 1) },
+		func(m *Model) { m.VpVsRatio = 0.9 },
+		func(m *Model) { m.RockDensity = 0 },
+	}
+	for i, mod := range mods {
+		m := SanFernando()
+		mod(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: bad model accepted", i)
+		}
+	}
+}
+
+func TestVelocityInsideAndOutsideBasin(t *testing.T) {
+	m := SanFernando()
+	center := m.BasinCenter
+	if !m.InBasin(center) {
+		t.Fatal("basin center not in basin")
+	}
+	if got := m.ShearVelocity(center); got != m.BasinVsSurface {
+		t.Errorf("Vs at basin center surface = %g, want %g", got, m.BasinVsSurface)
+	}
+	far := geom.V(0, 0, 9)
+	if m.InBasin(far) {
+		t.Fatal("far corner in basin")
+	}
+	if got := m.ShearVelocity(far); got != m.RockVs {
+		t.Errorf("Vs in rock = %g, want %g", got, m.RockVs)
+	}
+}
+
+func TestVelocityIncreasesWithDepthInBasin(t *testing.T) {
+	m := SanFernando()
+	shallow := m.ShearVelocity(geom.V(25, 25, 0.1))
+	deep := m.ShearVelocity(geom.V(25, 25, 2))
+	if deep <= shallow {
+		t.Errorf("Vs(deep)=%g <= Vs(shallow)=%g", deep, shallow)
+	}
+}
+
+func TestVelocityContinuousAcrossBasinEdge(t *testing.T) {
+	m := SanFernando()
+	// March along +x through the basin edge and check for jumps.
+	prev := m.ShearVelocity(geom.V(25, 25, 1))
+	for x := 25.0; x < 50; x += 0.01 {
+		v := m.ShearVelocity(geom.V(x, 25, 1))
+		if math.Abs(v-prev) > 0.05 {
+			t.Fatalf("Vs jump %g -> %g at x=%g", prev, v, x)
+		}
+		if v < prev-1e-12 {
+			t.Fatalf("Vs decreased moving toward rock at x=%g", x)
+		}
+		prev = v
+	}
+	if prev != m.RockVs {
+		t.Errorf("Vs outside basin = %g, want rock %g", prev, m.RockVs)
+	}
+}
+
+func TestVelocityBounded(t *testing.T) {
+	m := SanFernando()
+	for x := 0.0; x <= 50; x += 5 {
+		for y := 0.0; y <= 50; y += 5 {
+			for z := 0.0; z <= 10; z += 1 {
+				v := m.ShearVelocity(geom.V(x, y, z))
+				if v < m.BasinVsSurface || v > m.RockVs {
+					t.Fatalf("Vs(%g,%g,%g) = %g out of [%g, %g]",
+						x, y, z, v, m.BasinVsSurface, m.RockVs)
+				}
+			}
+		}
+	}
+}
+
+func TestElasticParameters(t *testing.T) {
+	m := SanFernando()
+	lambda, mu, rho := m.Elastic(geom.V(0, 0, 5)) // rock
+	if rho != m.RockDensity {
+		t.Errorf("rock density = %g", rho)
+	}
+	wantMu := m.RockDensity * m.RockVs * m.RockVs
+	if math.Abs(mu-wantMu) > 1e-12 {
+		t.Errorf("mu = %g, want %g", mu, wantMu)
+	}
+	// λ must be consistent with Vp = ratio·Vs: λ = ρVp² - 2μ.
+	vp := m.RockVs * m.VpVsRatio
+	wantLambda := m.RockDensity*vp*vp - 2*wantMu
+	if math.Abs(lambda-wantLambda) > 1e-12 {
+		t.Errorf("lambda = %g, want %g", lambda, wantLambda)
+	}
+	if lambda <= 0 || mu <= 0 {
+		t.Errorf("non-positive moduli: lambda=%g mu=%g", lambda, mu)
+	}
+}
+
+func TestWavelengthAndSizing(t *testing.T) {
+	m := SanFernando()
+	p := geom.V(25, 25, 0) // basin surface, Vs = 0.4
+	if got := m.Wavelength(p, 10); math.Abs(got-4.0) > 1e-12 {
+		t.Errorf("wavelength = %g, want 4", got)
+	}
+	h := m.Sizing(10, 8)
+	if got := h(p); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("sizing = %g, want 0.5", got)
+	}
+	// Rock sizing is RockVs/BasinVsSurface times coarser.
+	rockH := h(geom.V(0, 0, 9))
+	if ratio := rockH / h(p); math.Abs(ratio-m.RockVs/m.BasinVsSurface) > 1e-9 {
+		t.Errorf("rock/basin sizing ratio = %g", ratio)
+	}
+}
+
+func TestSizingHalvesWithPeriod(t *testing.T) {
+	m := SanFernando()
+	p := geom.V(20, 30, 1)
+	h10 := m.Sizing(10, 8)(p)
+	h5 := m.Sizing(5, 8)(p)
+	if math.Abs(h10/h5-2) > 1e-12 {
+		t.Errorf("sizing ratio for halved period = %g, want 2", h10/h5)
+	}
+}
+
+func TestSizingPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Sizing(0, 8) did not panic")
+		}
+	}()
+	SanFernando().Sizing(0, 8)
+}
+
+func TestUniformModel(t *testing.T) {
+	m := Uniform(1.5)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []geom.Vec3{geom.V(0, 0, 0), geom.V(25, 25, 5), geom.V(50, 50, 10)} {
+		if got := m.ShearVelocity(p); got != 1.5 {
+			t.Errorf("Vs(%v) = %g, want 1.5", p, got)
+		}
+		if got := m.Density(p); got != 2.6 {
+			t.Errorf("rho(%v) = %g", p, got)
+		}
+	}
+	// Sizing is constant, so meshes graded by it are uniform.
+	h := m.Sizing(5, 2)
+	if h(geom.V(0, 0, 0)) != h(geom.V(40, 40, 9)) {
+		t.Error("uniform sizing not constant")
+	}
+}

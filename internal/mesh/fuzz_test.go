@@ -1,0 +1,44 @@
+package mesh
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead hardens the binary mesh reader: arbitrary input must yield
+// either a valid mesh or an error — never a panic, never an invalid
+// mesh. Run the fuzzer with `go test -fuzz FuzzRead ./internal/mesh`;
+// the seed corpus (a valid file and a few mutations) runs under plain
+// `go test`.
+func FuzzRead(f *testing.F) {
+	var buf bytes.Buffer
+	if err := twoTets().Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("QMESH001 garbage"))
+	f.Add(valid[:len(valid)-7]) // truncated
+	// Header claims absurd sizes.
+	corrupt := append([]byte(nil), valid...)
+	for i := 8; i < 16; i++ {
+		corrupt[i] = 0xff
+	}
+	f.Add(corrupt)
+	// Element index out of range.
+	badIdx := append([]byte(nil), valid...)
+	badIdx[len(badIdx)-1] = 0x7f
+	f.Add(badIdx)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever parses must satisfy the structural invariants.
+		if err := m.Validate(); err != nil {
+			t.Fatalf("Read returned an invalid mesh: %v", err)
+		}
+	})
+}

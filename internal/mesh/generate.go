@@ -1,0 +1,230 @@
+package mesh
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/octree"
+)
+
+// FromTree generates a conforming tetrahedral mesh from a balanced
+// octree.
+//
+// Construction: every leaf cube contributes a center vertex; every
+// *minimal face* — a face of the finer of the two cells sharing it (or
+// the cell's own face on the boundary) — contributes a face-center
+// vertex. Each minimal face is triangulated as a fan from its face
+// center over its boundary ring, where the ring consists of the four
+// face corners plus the midpoint of any face edge that is itself a
+// corner of some leaf (a "hanging" vertex induced by finer cells around
+// that edge). Each triangle is then joined to the adjacent cell centers,
+// yielding tetrahedra.
+//
+// Because the ring of a minimal face is a pure function of the global
+// leaf-corner set, both cells sharing a face triangulate it identically,
+// so the mesh is conforming by construction. All vertices live on an
+// integer lattice at resolution 2^(maxDepth+1) per root cube, making
+// deduplication exact.
+func FromTree(t *octree.Tree) (*Mesh, error) {
+	cfg := t.Config()
+	maxD := t.MaxLeafDepth()
+	// Lattice resolution: 2^(maxD+1) per depth-0 cube (so cell centers
+	// and face midpoints are lattice points at every depth).
+	shiftBase := uint(maxD + 1)
+	maxCoord := int64(cfg.Nx) << shiftBase
+	if c := int64(cfg.Ny) << shiftBase; c > maxCoord {
+		maxCoord = c
+	}
+	if c := int64(cfg.Nz) << shiftBase; c > maxCoord {
+		maxCoord = c
+	}
+	if maxCoord >= 1<<21 {
+		return nil, fmt.Errorf("mesh: lattice resolution %d exceeds 21-bit key budget (reduce depth or grid)", maxCoord)
+	}
+
+	leaves := t.Leaves()
+	g := &generator{
+		tree:  t,
+		scale: cfg.CubeSize / float64(int64(1)<<shiftBase),
+		vid:   make(map[uint64]int32, 4*len(leaves)),
+	}
+
+	// Phase 1: register all leaf corner vertices so ring construction
+	// can test "is this midpoint a corner of some leaf?" exactly.
+	g.corner = make(map[uint64]struct{}, 2*len(leaves))
+	for _, c := range leaves {
+		lo, size := g.cellLattice(c)
+		for i := 0; i < 8; i++ {
+			p := lat{
+				lo[0] + int64(i&1)*size,
+				lo[1] + int64((i>>1)&1)*size,
+				lo[2] + int64((i>>2)&1)*size,
+			}
+			g.corner[p.key()] = struct{}{}
+		}
+	}
+	// Assign corner vertex indices in deterministic leaf order.
+	for _, c := range leaves {
+		lo, size := g.cellLattice(c)
+		for i := 0; i < 8; i++ {
+			g.vertex(lat{
+				lo[0] + int64(i&1)*size,
+				lo[1] + int64((i>>1)&1)*size,
+				lo[2] + int64((i>>2)&1)*size,
+			})
+		}
+	}
+
+	// Phase 2: emit tetrahedra.
+	for _, c := range leaves {
+		g.emitCell(c)
+	}
+	m := &Mesh{Coords: g.coords, Tets: g.tets}
+	return m, nil
+}
+
+// lat is an integer lattice point.
+type lat [3]int64
+
+func (p lat) key() uint64 {
+	return uint64(p[0]) | uint64(p[1])<<21 | uint64(p[2])<<42
+}
+
+type generator struct {
+	tree   *octree.Tree
+	scale  float64 // physical length of one lattice unit
+	corner map[uint64]struct{}
+	vid    map[uint64]int32
+	coords []geom.Vec3
+	tets   [][4]int32
+}
+
+// cellLattice returns the lattice coordinates of the cell's minimum
+// corner and its lattice edge length.
+func (g *generator) cellLattice(c octree.Cell) (lo lat, size int64) {
+	shift := uint(g.tree.MaxLeafDepth() + 1 - int(c.Depth))
+	size = int64(1) << shift
+	return lat{int64(c.X) << shift, int64(c.Y) << shift, int64(c.Z) << shift}, size
+}
+
+// vertex returns the index for the lattice point, creating it if new.
+func (g *generator) vertex(p lat) int32 {
+	k := p.key()
+	if id, ok := g.vid[k]; ok {
+		return id
+	}
+	id := int32(len(g.coords))
+	g.vid[k] = id
+	origin := g.tree.Config().Origin
+	g.coords = append(g.coords, origin.Add(geom.V(
+		float64(p[0])*g.scale, float64(p[1])*g.scale, float64(p[2])*g.scale)))
+	return id
+}
+
+// faceRect describes one square face on the lattice: axis is the normal
+// direction, plane the lattice coordinate along that axis, (u0, v0) the
+// minimum corner in the two tangential axes (ordered by axis index), and
+// size the lattice edge length.
+type faceRect struct {
+	axis   int
+	plane  int64
+	u0, v0 int64
+	size   int64
+}
+
+// point maps tangential coordinates (u, v) on the face to a lattice point.
+func (f faceRect) point(u, v int64) lat {
+	switch f.axis {
+	case 0:
+		return lat{f.plane, u, v}
+	case 1:
+		return lat{u, f.plane, v}
+	default:
+		return lat{u, v, f.plane}
+	}
+}
+
+// cellFace returns the lattice rectangle of the given face of cell c.
+func (g *generator) cellFace(c octree.Cell, face int) faceRect {
+	lo, size := g.cellLattice(c)
+	axis := face / 2
+	plane := lo[axis]
+	if face&1 == 1 {
+		plane += size
+	}
+	var u0, v0 int64
+	switch axis {
+	case 0:
+		u0, v0 = lo[1], lo[2]
+	case 1:
+		u0, v0 = lo[0], lo[2]
+	default:
+		u0, v0 = lo[0], lo[1]
+	}
+	return faceRect{axis: axis, plane: plane, u0: u0, v0: v0, size: size}
+}
+
+// emitCell generates the tetrahedra that connect the cell center of c to
+// the triangulations of the minimal faces on each of its six sides.
+func (g *generator) emitCell(c octree.Cell) {
+	lo, size := g.cellLattice(c)
+	half := size / 2
+	center := g.vertex(lat{lo[0] + half, lo[1] + half, lo[2] + half})
+	for face := 0; face < octree.NumFaces; face++ {
+		ns := g.tree.FaceNeighbors(c, face)
+		if len(ns) == 4 {
+			// Finer side: the minimal faces are the neighbors' faces.
+			for _, n := range ns {
+				g.emitFace(center, g.cellFace(n, face^1))
+			}
+			continue
+		}
+		g.emitFace(center, g.cellFace(c, face))
+	}
+}
+
+// emitFace fans the minimal face from its center vertex and joins each
+// resulting triangle to the cell-center vertex, producing tetrahedra.
+func (g *generator) emitFace(center int32, f faceRect) {
+	half := f.size / 2
+	fc := g.vertex(f.point(f.u0+half, f.v0+half))
+	ring := g.faceRing(f)
+	for i := range ring {
+		a := ring[i]
+		b := ring[(i+1)%len(ring)]
+		g.emitTet(center, fc, a, b)
+	}
+}
+
+// faceRing returns the boundary vertex indices of the face in cyclic
+// order: corners plus any hanging midpoints (lattice points that are
+// corners of some leaf).
+func (g *generator) faceRing(f faceRect) []int32 {
+	s := f.size
+	h := s / 2
+	// Cyclic corner coordinates.
+	cu := [4]int64{f.u0, f.u0 + s, f.u0 + s, f.u0}
+	cv := [4]int64{f.v0, f.v0, f.v0 + s, f.v0 + s}
+	// Midpoint coordinates between corner i and corner i+1.
+	mu := [4]int64{f.u0 + h, f.u0 + s, f.u0 + h, f.u0}
+	mv := [4]int64{f.v0, f.v0 + h, f.v0 + s, f.v0 + h}
+	ring := make([]int32, 0, 8)
+	for i := 0; i < 4; i++ {
+		ring = append(ring, g.vertex(f.point(cu[i], cv[i])))
+		mp := f.point(mu[i], mv[i])
+		if _, ok := g.corner[mp.key()]; ok {
+			ring = append(ring, g.vertex(mp))
+		}
+	}
+	return ring
+}
+
+// emitTet appends the tetrahedron, flipping two vertices if needed so
+// the signed volume is positive.
+func (g *generator) emitTet(a, b, c, d int32) {
+	vol := geom.TetVolume(g.coords[a], g.coords[b], g.coords[c], g.coords[d])
+	if vol < 0 {
+		c, d = d, c
+	}
+	g.tets = append(g.tets, [4]int32{a, b, c, d})
+}

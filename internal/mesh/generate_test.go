@@ -1,0 +1,259 @@
+package mesh
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/octree"
+)
+
+func buildTree(t *testing.T, cfg octree.Config, h octree.Sizing) *octree.Tree {
+	t.Helper()
+	tr, err := octree.Build(cfg, h)
+	if err != nil {
+		t.Fatalf("octree.Build: %v", err)
+	}
+	return tr
+}
+
+func genMesh(t *testing.T, cfg octree.Config, h octree.Sizing) *Mesh {
+	t.Helper()
+	m, err := FromTree(buildTree(t, cfg, h))
+	if err != nil {
+		t.Fatalf("FromTree: %v", err)
+	}
+	return m
+}
+
+func unitCfg(depth int) octree.Config {
+	return octree.Config{Origin: geom.V(0, 0, 0), CubeSize: 1, Nx: 1, Ny: 1, Nz: 1, MaxDepth: depth}
+}
+
+// gradedCfg returns a mesh with a genuine coarse/fine interface.
+func gradedMesh(t *testing.T) *Mesh {
+	h := func(p geom.Vec3) float64 {
+		d := p.Dist(geom.V(0.1, 0.2, 0.3))
+		return math.Max(0.04, 0.4*d)
+	}
+	return genMesh(t, unitCfg(6), h)
+}
+
+func TestSingleCubeMesh(t *testing.T) {
+	m := genMesh(t, unitCfg(0), func(geom.Vec3) float64 { return 10 })
+	// One cube: 8 corners + 6 face centers + 1 cell center = 15 nodes;
+	// 6 faces × 4 triangles = 24 tets.
+	if m.NumNodes() != 15 {
+		t.Errorf("nodes = %d, want 15", m.NumNodes())
+	}
+	if m.NumElems() != 24 {
+		t.Errorf("elems = %d, want 24", m.NumElems())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := m.ComputeStats()
+	if math.Abs(s.TotalVolume-1) > 1e-12 {
+		t.Errorf("total volume = %g, want 1", s.TotalVolume)
+	}
+}
+
+func TestUniformMeshVolume(t *testing.T) {
+	m := genMesh(t, unitCfg(3), func(geom.Vec3) float64 { return 0.3 })
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := m.ComputeStats()
+	if math.Abs(s.TotalVolume-1) > 1e-9 {
+		t.Errorf("total volume = %g, want 1", s.TotalVolume)
+	}
+	if s.Elems != 64*24 {
+		t.Errorf("elems = %d, want %d", s.Elems, 64*24)
+	}
+}
+
+func TestGradedMeshConforming(t *testing.T) {
+	m := gradedMesh(t)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	checkConforming(t, m, unitCfg(6).Domain())
+	s := m.ComputeStats()
+	if math.Abs(s.TotalVolume-1) > 1e-9 {
+		t.Errorf("total volume = %g, want 1 (gap or overlap in mesh)", s.TotalVolume)
+	}
+}
+
+func TestAnisotropicDomainConforming(t *testing.T) {
+	cfg := octree.Config{Origin: geom.V(0, 0, 0), CubeSize: 2, Nx: 3, Ny: 2, Nz: 1, MaxDepth: 4}
+	h := func(p geom.Vec3) float64 { return math.Max(0.3, p.X*0.4) }
+	m := genMesh(t, cfg, h)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	checkConforming(t, m, cfg.Domain())
+	s := m.ComputeStats()
+	if want := cfg.Domain().Volume(); math.Abs(s.TotalVolume-want) > 1e-9*want {
+		t.Errorf("total volume = %g, want %g", s.TotalVolume, want)
+	}
+}
+
+// checkConforming verifies the fundamental mesh invariant: every
+// triangular face is shared by exactly two tetrahedra, except boundary
+// faces (on the domain surface), which belong to exactly one.
+func checkConforming(t *testing.T, m *Mesh, domain geom.Box) {
+	t.Helper()
+	type tri [3]int32
+	count := make(map[tri]int, 4*len(m.Tets))
+	for _, tet := range m.Tets {
+		for omit := 0; omit < 4; omit++ {
+			var f tri
+			k := 0
+			for i := 0; i < 4; i++ {
+				if i != omit {
+					f[k] = tet[i]
+					k++
+				}
+			}
+			sort.Slice(f[:], func(a, b int) bool { return f[a] < f[b] })
+			count[f]++
+		}
+	}
+	const eps = 1e-9
+	onBoundary := func(f tri) bool {
+		for axis := 0; axis < 3; axis++ {
+			for _, plane := range []float64{domain.Lo.Component(axis), domain.Hi.Component(axis)} {
+				ok := true
+				for _, v := range f {
+					if math.Abs(m.Coords[v].Component(axis)-plane) > eps {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	bad := 0
+	for f, c := range count {
+		switch c {
+		case 2:
+			// interior face, fine
+		case 1:
+			if !onBoundary(f) {
+				bad++
+				if bad <= 5 {
+					t.Errorf("interior face %v (%v %v %v) has only one element",
+						f, m.Coords[f[0]], m.Coords[f[1]], m.Coords[f[2]])
+				}
+			}
+		default:
+			bad++
+			if bad <= 5 {
+				t.Errorf("face %v shared by %d elements", f, c)
+			}
+		}
+	}
+	if bad > 5 {
+		t.Errorf("... and %d more non-conforming faces", bad-5)
+	}
+}
+
+func TestMeshDeterministic(t *testing.T) {
+	a := gradedMesh(t)
+	b := gradedMesh(t)
+	if a.NumNodes() != b.NumNodes() || a.NumElems() != b.NumElems() {
+		t.Fatalf("sizes differ: (%d,%d) vs (%d,%d)",
+			a.NumNodes(), a.NumElems(), b.NumNodes(), b.NumElems())
+	}
+	for i := range a.Coords {
+		if a.Coords[i] != b.Coords[i] {
+			t.Fatalf("node %d differs", i)
+		}
+	}
+	for i := range a.Tets {
+		if a.Tets[i] != b.Tets[i] {
+			t.Fatalf("element %d differs", i)
+		}
+	}
+}
+
+func TestMeshDegreeInExpectedRange(t *testing.T) {
+	// The paper reports ~13 neighbors per node on average for its
+	// unstructured meshes. Our octree meshes should land in the same
+	// regime (roughly 10–17).
+	m := gradedMesh(t)
+	s := m.ComputeStats()
+	if s.AvgDegree < 10 || s.AvgDegree > 17 {
+		t.Errorf("average degree = %g, want ~13 (10..17)", s.AvgDegree)
+	}
+	// Nonzeros per row ≈ 3·(degree+1); the paper quotes ~42.
+	if s.NnzPerRow < 33 || s.NnzPerRow > 54 {
+		t.Errorf("nnz/row = %g, want ~42 (33..54)", s.NnzPerRow)
+	}
+}
+
+func TestMeshQuality(t *testing.T) {
+	m := gradedMesh(t)
+	s := m.ComputeStats()
+	if s.MinVolume <= 0 {
+		t.Errorf("min volume = %g, want positive", s.MinVolume)
+	}
+	// Fan tets of a cube have bounded aspect ratio; grading makes it a
+	// bit worse but it must stay far from degenerate.
+	if s.MaxAspect > 12 {
+		t.Errorf("max aspect ratio = %g, suspiciously bad", s.MaxAspect)
+	}
+}
+
+func TestLatticeBudgetExceeded(t *testing.T) {
+	// A geometrically graded point feature reaches depth 18 with only
+	// O(depth) leaves, but 16 root cubes at depth 18 need lattice
+	// coordinates up to 16·2^19 = 2^23, beyond the 21-bit key budget.
+	cfg := octree.Config{Origin: geom.V(0, 0, 0), CubeSize: 1, Nx: 16, Ny: 1, Nz: 1, MaxDepth: 18}
+	hmin := 1.0 / float64(int64(1)<<18)
+	tr := buildTree(t, cfg, func(p geom.Vec3) float64 {
+		return math.Max(hmin, 0.5*p.Norm())
+	})
+	if tr.MaxLeafDepth() != 18 {
+		t.Skip("tree did not reach depth 18")
+	}
+	if _, err := FromTree(tr); err == nil {
+		t.Error("expected lattice budget error")
+	}
+}
+
+// TestQuickRandomMeshesConforming drives the full mesher with random
+// graded sizings and verifies conformity, positive volumes, and exact
+// volume cover on each.
+func TestQuickRandomMeshesConforming(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := octree.Config{
+			Origin:   geom.V(0, 0, 0),
+			CubeSize: 1,
+			Nx:       1 + rng.Intn(2),
+			Ny:       1 + rng.Intn(2),
+			Nz:       1,
+			MaxDepth: 4,
+		}
+		target := geom.V(rng.Float64()*float64(cfg.Nx), rng.Float64()*float64(cfg.Ny), rng.Float64())
+		strength := 0.2 + rng.Float64()*0.5
+		m := genMesh(t, cfg, func(p geom.Vec3) float64 {
+			return math.Max(1.0/16, strength*p.Dist(target))
+		})
+		if err := m.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		checkConforming(t, m, cfg.Domain())
+		s := m.ComputeStats()
+		if want := cfg.Domain().Volume(); math.Abs(s.TotalVolume-want) > 1e-9*want {
+			t.Fatalf("seed %d: volume %g, want %g", seed, s.TotalVolume, want)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package mesh
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// magic identifies the binary mesh format; the version byte allows the
+// layout to evolve.
+var magic = [8]byte{'Q', 'M', 'E', 'S', 'H', '0', '0', '1'}
+
+// Write serializes the mesh to w in a compact little-endian binary
+// format: header, node coordinates (3 float64 each), then element node
+// indices (4 int32 each).
+func (m *Mesh) Write(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(m.NumNodes()))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(m.NumElems()))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [24]byte
+	for _, p := range m.Coords {
+		binary.LittleEndian.PutUint64(buf[0:8], math.Float64bits(p.X))
+		binary.LittleEndian.PutUint64(buf[8:16], math.Float64bits(p.Y))
+		binary.LittleEndian.PutUint64(buf[16:24], math.Float64bits(p.Z))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	var tbuf [16]byte
+	for _, t := range m.Tets {
+		for i, v := range t {
+			binary.LittleEndian.PutUint32(tbuf[4*i:4*i+4], uint32(v))
+		}
+		if _, err := bw.Write(tbuf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a mesh written by Write.
+func Read(r io.Reader) (*Mesh, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var got [8]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return nil, fmt.Errorf("mesh: reading magic: %w", err)
+	}
+	if got != magic {
+		return nil, fmt.Errorf("mesh: bad magic %q", got[:])
+	}
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("mesh: reading header: %w", err)
+	}
+	nNodes := binary.LittleEndian.Uint64(hdr[0:8])
+	nElems := binary.LittleEndian.Uint64(hdr[8:16])
+	const maxEntities = 1 << 31
+	if nNodes > maxEntities || nElems > maxEntities {
+		return nil, fmt.Errorf("mesh: implausible sizes %d nodes, %d elements", nNodes, nElems)
+	}
+	// Let the slices grow as the data actually arrives instead of
+	// trusting the header for a huge upfront allocation: a corrupt or
+	// hostile header then fails with a read error after at most one
+	// initial chunk, and append's geometric growth keeps honest large
+	// files linear.
+	const chunk = 1 << 16
+	initial := func(n uint64) int {
+		if n > chunk {
+			return chunk
+		}
+		return int(n)
+	}
+	m := &Mesh{
+		Coords: make([]geom.Vec3, 0, initial(nNodes)),
+		Tets:   make([][4]int32, 0, initial(nElems)),
+	}
+	var buf [24]byte
+	for i := uint64(0); i < nNodes; i++ {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("mesh: reading node %d: %w", i, err)
+		}
+		m.Coords = append(m.Coords, geom.V(
+			math.Float64frombits(binary.LittleEndian.Uint64(buf[0:8])),
+			math.Float64frombits(binary.LittleEndian.Uint64(buf[8:16])),
+			math.Float64frombits(binary.LittleEndian.Uint64(buf[16:24]))))
+	}
+	var tbuf [16]byte
+	for i := uint64(0); i < nElems; i++ {
+		if _, err := io.ReadFull(br, tbuf[:]); err != nil {
+			return nil, fmt.Errorf("mesh: reading element %d: %w", i, err)
+		}
+		var t [4]int32
+		for j := 0; j < 4; j++ {
+			t[j] = int32(binary.LittleEndian.Uint32(tbuf[4*j : 4*j+4]))
+		}
+		m.Tets = append(m.Tets, t)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

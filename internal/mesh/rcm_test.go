@@ -1,0 +1,128 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestRCMPermutationValid(t *testing.T) {
+	m := gradedMesh(t)
+	perm := m.RCMOrder()
+	if len(perm) != m.NumNodes() {
+		t.Fatalf("perm length %d, want %d", len(perm), m.NumNodes())
+	}
+	seen := make([]bool, m.NumNodes())
+	for _, v := range perm {
+		if v < 0 || int(v) >= m.NumNodes() {
+			t.Fatalf("out of range entry %d", v)
+		}
+		if seen[v] {
+			t.Fatalf("repeated entry %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRCMReducesBandwidth(t *testing.T) {
+	m := gradedMesh(t)
+	perm := m.RCMOrder()
+	rm, err := m.Permute(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, after := m.AvgBandwidth(), rm.AvgBandwidth()
+	if after >= before {
+		t.Errorf("RCM did not reduce average bandwidth: %.0f -> %.0f", before, after)
+	}
+	if rm.Bandwidth() >= m.Bandwidth()*2 {
+		t.Errorf("RCM max bandwidth blew up: %d -> %d", m.Bandwidth(), rm.Bandwidth())
+	}
+}
+
+func TestPermutePreservesGeometry(t *testing.T) {
+	m := gradedMesh(t)
+	perm := m.RCMOrder()
+	rm, err := m.Permute(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rm.Validate(); err != nil {
+		t.Fatalf("permuted mesh invalid: %v", err)
+	}
+	if rm.NumNodes() != m.NumNodes() || rm.NumElems() != m.NumElems() {
+		t.Fatal("sizes changed")
+	}
+	// Same total volume, same per-element volume (orientation kept).
+	for e := 0; e < m.NumElems(); e++ {
+		if math.Abs(rm.Volume(e)-m.Volume(e)) > 1e-12*(1+math.Abs(m.Volume(e))) {
+			t.Fatalf("element %d volume changed", e)
+		}
+	}
+	// Edge count invariant under renumbering.
+	if rm.NumEdges() != m.NumEdges() {
+		t.Fatalf("edge count changed: %d -> %d", m.NumEdges(), rm.NumEdges())
+	}
+	// Coordinates are a permutation of the originals.
+	if perm[0] >= 0 {
+		old := perm[17%len(perm)]
+		if rm.Coords[17%len(perm)] != m.Coords[old] {
+			t.Error("coordinate mapping wrong")
+		}
+	}
+}
+
+func TestPermuteErrors(t *testing.T) {
+	m := twoTets()
+	if _, err := m.Permute([]int32{0, 1}); err == nil {
+		t.Error("short perm accepted")
+	}
+	if _, err := m.Permute([]int32{0, 1, 2, 3, 9}); err == nil {
+		t.Error("out-of-range perm accepted")
+	}
+	if _, err := m.Permute([]int32{0, 1, 2, 3, 3}); err == nil {
+		t.Error("repeated perm accepted")
+	}
+}
+
+func TestPermuteIdentity(t *testing.T) {
+	m := twoTets()
+	id := []int32{0, 1, 2, 3, 4}
+	got, err := m.Permute(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Coords {
+		if got.Coords[i] != m.Coords[i] {
+			t.Fatal("identity permutation moved nodes")
+		}
+	}
+	for e := range m.Tets {
+		if got.Tets[e] != m.Tets[e] {
+			t.Fatal("identity permutation changed elements")
+		}
+	}
+}
+
+func TestRCMHandlesDisconnected(t *testing.T) {
+	// Two disjoint tetrahedra.
+	m := &Mesh{
+		Coords: []geom.Vec3{
+			geom.V(0, 0, 0), geom.V(1, 0, 0), geom.V(0, 1, 0), geom.V(0, 0, 1),
+			geom.V(5, 0, 0), geom.V(6, 0, 0), geom.V(5, 1, 0), geom.V(5, 0, 1),
+		},
+		Tets: [][4]int32{{0, 1, 2, 3}, {4, 5, 6, 7}},
+	}
+	perm := m.RCMOrder()
+	if len(perm) != 8 {
+		t.Fatalf("perm length %d", len(perm))
+	}
+	seen := map[int32]bool{}
+	for _, v := range perm {
+		seen[v] = true
+	}
+	if len(seen) != 8 {
+		t.Fatal("not a permutation")
+	}
+}

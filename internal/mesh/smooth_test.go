@@ -1,0 +1,90 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestSmoothKeepsMeshValid(t *testing.T) {
+	m := gradedMesh(t)
+	before := m.ComputeStats()
+	moved := m.Smooth(3, 0.5)
+	if moved == 0 {
+		t.Fatal("no nodes moved")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("smoothing broke the mesh: %v", err)
+	}
+	after := m.ComputeStats()
+	// Topology untouched.
+	if after.Nodes != before.Nodes || after.Elems != before.Elems || after.Edges != before.Edges {
+		t.Fatal("smoothing changed topology")
+	}
+	// Domain preserved: total volume unchanged (boundary fixed).
+	if math.Abs(after.TotalVolume-before.TotalVolume) > 1e-9*before.TotalVolume {
+		t.Fatalf("volume changed: %g -> %g", before.TotalVolume, after.TotalVolume)
+	}
+	// Quality not catastrophically worse (usually better).
+	if after.MaxAspect > before.MaxAspect*1.5 {
+		t.Errorf("aspect degraded: %g -> %g", before.MaxAspect, after.MaxAspect)
+	}
+	conformCfg := unitCfg(6)
+	checkConforming(t, m, conformCfg.Domain())
+}
+
+func TestSmoothBoundaryFixed(t *testing.T) {
+	m := gradedMesh(t)
+	bnd := m.boundaryNodes()
+	saved := make([]geom.Vec3, 0)
+	idx := make([]int, 0)
+	for v, b := range bnd {
+		if b {
+			saved = append(saved, m.Coords[v])
+			idx = append(idx, v)
+		}
+	}
+	if len(idx) == 0 {
+		t.Fatal("no boundary nodes detected")
+	}
+	m.Smooth(2, 0.7)
+	for k, v := range idx {
+		if m.Coords[v] != saved[k] {
+			t.Fatalf("boundary node %d moved", v)
+		}
+	}
+}
+
+func TestSmoothNoOpCases(t *testing.T) {
+	m := gradedMesh(t)
+	if got := m.Smooth(0, 0.5); got != 0 {
+		t.Errorf("passes=0 moved %d", got)
+	}
+	if got := m.Smooth(1, 0); got != 0 {
+		t.Errorf("relax=0 moved %d", got)
+	}
+	if got := m.Smooth(1, 1.5); got != 0 {
+		t.Errorf("relax>1 moved %d", got)
+	}
+	// A single-cube mesh has only one interior node (the center) whose
+	// neighbor centroid is itself, so smoothing converges immediately.
+	single := genMesh(t, unitCfg(0), func(geom.Vec3) float64 { return 10 })
+	single.Smooth(1, 0.5)
+	if err := single.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundaryNodesOnCube(t *testing.T) {
+	m := genMesh(t, unitCfg(1), func(geom.Vec3) float64 { return 0.6 })
+	bnd := m.boundaryNodes()
+	const eps = 1e-12
+	for v, b := range bnd {
+		p := m.Coords[v]
+		onSurf := p.X < eps || p.X > 1-eps || p.Y < eps || p.Y > 1-eps || p.Z < eps || p.Z > 1-eps
+		if b != onSurf {
+			t.Fatalf("node %d at %v: boundary=%v, surface=%v", v, p, b, onSurf)
+		}
+	}
+}

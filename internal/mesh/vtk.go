@@ -1,0 +1,88 @@
+package mesh
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteVTK writes the mesh in legacy VTK ASCII format (UNSTRUCTURED_GRID
+// with VTK_TETRA cells) so generated meshes and simulation fields can be
+// inspected in ParaView/VisIt. fields optionally attaches point data:
+// each entry is a named scalar (length NumNodes) or vector (length
+// 3·NumNodes) array.
+func (m *Mesh) WriteVTK(w io.Writer, title string, fields ...VTKField) error {
+	for _, f := range fields {
+		if err := f.validate(m.NumNodes()); err != nil {
+			return err
+		}
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	fmt.Fprintln(bw, "# vtk DataFile Version 3.0")
+	if title == "" {
+		title = "quake mesh"
+	}
+	fmt.Fprintln(bw, title)
+	fmt.Fprintln(bw, "ASCII")
+	fmt.Fprintln(bw, "DATASET UNSTRUCTURED_GRID")
+	fmt.Fprintf(bw, "POINTS %d double\n", m.NumNodes())
+	for _, p := range m.Coords {
+		fmt.Fprintf(bw, "%g %g %g\n", p.X, p.Y, p.Z)
+	}
+	fmt.Fprintf(bw, "CELLS %d %d\n", m.NumElems(), 5*m.NumElems())
+	for _, t := range m.Tets {
+		fmt.Fprintf(bw, "4 %d %d %d %d\n", t[0], t[1], t[2], t[3])
+	}
+	fmt.Fprintf(bw, "CELL_TYPES %d\n", m.NumElems())
+	for range m.Tets {
+		fmt.Fprintln(bw, 10) // VTK_TETRA
+	}
+	if len(fields) > 0 {
+		fmt.Fprintf(bw, "POINT_DATA %d\n", m.NumNodes())
+		for _, f := range fields {
+			if err := f.write(bw, m.NumNodes()); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// VTKField is one named point-data array for WriteVTK.
+type VTKField struct {
+	Name string
+	// Data holds NumNodes scalars or 3·NumNodes interleaved vector
+	// components.
+	Data []float64
+}
+
+func (f VTKField) validate(nodes int) error {
+	if f.Name == "" {
+		return fmt.Errorf("mesh: VTK field needs a name")
+	}
+	if len(f.Data) != nodes && len(f.Data) != 3*nodes {
+		return fmt.Errorf("mesh: VTK field %q has %d values; want %d (scalar) or %d (vector)",
+			f.Name, len(f.Data), nodes, 3*nodes)
+	}
+	return nil
+}
+
+func (f VTKField) write(w io.Writer, nodes int) error {
+	if len(f.Data) == nodes {
+		fmt.Fprintf(w, "SCALARS %s double 1\nLOOKUP_TABLE default\n", f.Name)
+		for _, v := range f.Data {
+			if _, err := fmt.Fprintf(w, "%g\n", v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	fmt.Fprintf(w, "VECTORS %s double\n", f.Name)
+	for i := 0; i < nodes; i++ {
+		if _, err := fmt.Fprintf(w, "%g %g %g\n",
+			f.Data[3*i], f.Data[3*i+1], f.Data[3*i+2]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package mesh
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteVTK(t *testing.T) {
+	m := twoTets()
+	scal := []float64{0, 1, 2, 3, 4}
+	vec := make([]float64, 15)
+	for i := range vec {
+		vec[i] = float64(i) * 0.5
+	}
+	var sb strings.Builder
+	err := m.WriteVTK(&sb, "test mesh",
+		VTKField{Name: "height", Data: scal},
+		VTKField{Name: "disp", Data: vec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# vtk DataFile Version 3.0",
+		"test mesh",
+		"DATASET UNSTRUCTURED_GRID",
+		"POINTS 5 double",
+		"CELLS 2 10",
+		"CELL_TYPES 2",
+		"POINT_DATA 5",
+		"SCALARS height double 1",
+		"VECTORS disp double",
+		"4 0 1 2 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VTK output missing %q", want)
+		}
+	}
+	// Two VTK_TETRA cell type lines after the CELL_TYPES header.
+	_, after, found := strings.Cut(out, "CELL_TYPES 2\n")
+	if !found || !strings.HasPrefix(after, "10\n10\n") {
+		t.Error("missing VTK_TETRA cell types")
+	}
+}
+
+func TestWriteVTKDefaults(t *testing.T) {
+	m := twoTets()
+	var sb strings.Builder
+	if err := m.WriteVTK(&sb, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "quake mesh") {
+		t.Error("default title missing")
+	}
+	if strings.Contains(sb.String(), "POINT_DATA") {
+		t.Error("POINT_DATA without fields")
+	}
+}
+
+func TestWriteVTKErrors(t *testing.T) {
+	m := twoTets()
+	var sb strings.Builder
+	if err := m.WriteVTK(&sb, "t", VTKField{Name: "", Data: make([]float64, 5)}); err == nil {
+		t.Error("unnamed field accepted")
+	}
+	if err := m.WriteVTK(&sb, "t", VTKField{Name: "x", Data: make([]float64, 7)}); err == nil {
+		t.Error("wrong-length field accepted")
+	}
+}

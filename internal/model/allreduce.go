@@ -1,0 +1,38 @@
+package model
+
+import "math"
+
+// AllReduceTime estimates the cost of a global reduction-and-broadcast
+// of `words` 64-bit words over p PEs with the paper's communication
+// parameters: a binary combining tree costs ⌈log₂p⌉ block transfers up
+// and the same down, each paying the block latency plus the per-word
+// burst time:
+//
+//	T_allreduce = 2·⌈log₂ p⌉·(T_l + words·T_w).
+//
+// Dot products in implicit solvers are allreduces of a single word, so
+// their cost is almost pure block latency — exactly the resource the
+// paper identifies as the scarce one.
+func AllReduceTime(p int, words int64, tl, tw float64) float64 {
+	if p <= 1 {
+		return 0
+	}
+	levels := math.Ceil(math.Log2(float64(p)))
+	return 2 * levels * (tl + float64(words)*tw)
+}
+
+// ImplicitStep models one CG iteration of an implicit method on the
+// same mesh/partition: one SMVP (computation + exchange, as in the
+// explicit method) plus nDots single-word allreduces. It returns the
+// step time and the fraction of it spent on the allreduces — the
+// communication the Quake applications avoid by using explicit time
+// stepping.
+func ImplicitStep(app AppProperties, p, nDots int, tf, tl, tw float64) (stepTime, allreduceFraction float64) {
+	tcomp, tcomm := PhaseTimes(app, tf, tl, tw)
+	ar := float64(nDots) * AllReduceTime(p, 1, tl, tw)
+	stepTime = tcomp + tcomm + ar
+	if stepTime > 0 {
+		allreduceFraction = ar / stepTime
+	}
+	return stepTime, allreduceFraction
+}

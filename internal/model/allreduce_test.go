@@ -1,0 +1,57 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAllReduceTime(t *testing.T) {
+	tl, tw := 22e-6, 55e-9
+	if got := AllReduceTime(1, 1, tl, tw); got != 0 {
+		t.Errorf("p=1 allreduce = %g", got)
+	}
+	// p=2: one level up, one down.
+	want := 2 * (tl + tw)
+	if got := AllReduceTime(2, 1, tl, tw); math.Abs(got-want) > 1e-18 {
+		t.Errorf("p=2 = %g, want %g", got, want)
+	}
+	// p=128: 7 levels; p=100: also 7 (ceil log2).
+	if got := AllReduceTime(128, 1, tl, tw); math.Abs(got-14*(tl+tw)) > 1e-15 {
+		t.Errorf("p=128 = %g", got)
+	}
+	if AllReduceTime(100, 1, tl, tw) != AllReduceTime(128, 1, tl, tw) {
+		t.Error("ceil(log2) rounding wrong")
+	}
+	// Cost grows with words.
+	if AllReduceTime(8, 1000, tl, tw) <= AllReduceTime(8, 1, tl, tw) {
+		t.Error("allreduce not growing with volume")
+	}
+	// Single-word allreduce is latency-dominated on the T3E.
+	lat := AllReduceTime(128, 1, tl, 0)
+	full := AllReduceTime(128, 1, tl, tw)
+	if lat/full < 0.99 {
+		t.Errorf("single-word allreduce should be ~pure latency: %g of %g", lat, full)
+	}
+}
+
+func TestImplicitStep(t *testing.T) {
+	tf, tl, tw := 14e-9, 22e-6, 55e-9
+	step, frac := ImplicitStep(sf2_128, 128, 3, tf, tl, tw)
+	tcomp, tcomm := PhaseTimes(sf2_128, tf, tl, tw)
+	if step <= tcomp+tcomm {
+		t.Error("implicit step not slower than explicit")
+	}
+	if frac <= 0 || frac >= 1 {
+		t.Errorf("allreduce fraction = %g", frac)
+	}
+	// More dot products cost more.
+	step5, _ := ImplicitStep(sf2_128, 128, 5, tf, tl, tw)
+	if step5 <= step {
+		t.Error("extra dot products free")
+	}
+	// On one PE the allreduce is free.
+	s1, f1 := ImplicitStep(sf2_128, 1, 3, tf, tl, tw)
+	if f1 != 0 || s1 != tcomp+tcomm {
+		t.Errorf("p=1: step %g, frac %g", s1, f1)
+	}
+}

@@ -1,0 +1,301 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// sf2_128 is the paper's running example: sf2 partitioned into 128
+// subdomains (Figure 7, bottom-right block).
+var sf2_128 = AppProperties{F: 838224, Cmax: 16260, Bmax: 50}
+
+func TestValidate(t *testing.T) {
+	if err := sf2_128.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []AppProperties{
+		{F: 0, Cmax: 1, Bmax: 1},
+		{F: 1, Cmax: -1, Bmax: 1},
+		{F: 1, Cmax: 0, Bmax: 2},
+		{F: 1, Cmax: 2, Bmax: 0},
+	}
+	for i, a := range bad {
+		if err := a.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, a)
+		}
+	}
+	if err := (AppProperties{F: 5, Cmax: 0, Bmax: 0}).Validate(); err != nil {
+		t.Errorf("no-communication properties rejected: %v", err)
+	}
+}
+
+// TestPaperSustainedBandwidth reproduces the paper's headline numbers
+// (Section 4.3): sf2/128 on 200-MFLOP PEs at 90% efficiency needs about
+// 300 MBytes/sec of sustained per-PE bandwidth; 100-MFLOP PEs need
+// about 120-150 MBytes/sec.
+func TestPaperSustainedBandwidth(t *testing.T) {
+	tf200 := 5e-9 // 200 MFLOPS
+	bw := MBps(RequiredBandwidth(sf2_128, 0.9, tf200))
+	if bw < 200 || bw > 350 {
+		t.Errorf("sf2/128 @200MFLOPS E=0.9: %g MB/s, paper says ~300", bw)
+	}
+	tf100 := 10e-9
+	bw100 := MBps(RequiredBandwidth(sf2_128, 0.9, tf100))
+	if bw100 < 100 || bw100 > 200 {
+		t.Errorf("sf2/128 @100MFLOPS E=0.9: %g MB/s, paper says ~120-150", bw100)
+	}
+	// Lower efficiency and fewer PEs demand much less.
+	easy := AppProperties{F: 24640110, Cmax: 55338, Bmax: 6} // sf2/4
+	bwEasy := MBps(RequiredBandwidth(easy, 0.5, tf100))
+	if bwEasy > 5 {
+		t.Errorf("sf2/4 @100MFLOPS E=0.5: %g MB/s, expected a few MB/s", bwEasy)
+	}
+}
+
+// TestPaperLatencyBudget reproduces Section 4.4: for sf2/128 on
+// 200-MFLOP PEs at 90% efficiency with maximal blocks, even infinite
+// burst bandwidth requires block latency of about 3 µs or less.
+func TestPaperLatencyBudget(t *testing.T) {
+	tc := RequiredTc(sf2_128, 0.9, 5e-9)
+	// Equations (1)+(2) give ≈9.3 µs here; the paper's prose quotes
+	// ≈3 µs, read off Figure 10 (see EXPERIMENTS.md). Either way the
+	// budget is single-digit microseconds — the paper's point.
+	tlMax := LatencyBudget(sf2_128, tc, 0) // infinite burst bandwidth
+	if tlMax < 2e-6 || tlMax > 12e-6 {
+		t.Errorf("max latency = %g s, want low µs", tlMax)
+	}
+	// Four-word blocks: budget collapses to ~100 ns.
+	fixed := sf2_128.WithFixedBlocks(4)
+	tlFixed := LatencyBudget(fixed, tc, 0)
+	if tlFixed < 30e-9 || tlFixed > 200e-9 {
+		t.Errorf("4-word-block latency budget = %g s, paper says ≈100 ns", tlFixed)
+	}
+}
+
+// TestPaperHalfBandwidth reproduces Figure 11's hardest point: sf2/128,
+// 200 MFLOPS, E=0.9, maximal blocks needs ~600 MB/s burst bandwidth at
+// single-digit-µs latency; with 4-word blocks the latency drops to tens
+// of ns. Note: evaluating the paper's printed Equations (1)+(2) gives a
+// maximal-block half-latency of 4.7 µs where the prose quotes ≈2 µs
+// (the prose numbers appear to be read off the log-log Figure 11); the
+// fixed-block values match the prose closely, so we assert the
+// equation-derived value here and record the discrepancy in
+// EXPERIMENTS.md.
+func TestPaperHalfBandwidth(t *testing.T) {
+	bw, lat := HalfBandwidthPoint(sf2_128, 0.9, 5e-9)
+	if mb := MBps(bw); mb < 400 || mb > 800 {
+		t.Errorf("half-bandwidth = %g MB/s, paper says ≈600", mb)
+	}
+	if lat < 1e-6 || lat > 8e-6 {
+		t.Errorf("half-bandwidth latency = %g s, want single-digit µs", lat)
+	}
+	fixed := sf2_128.WithFixedBlocks(4)
+	_, latFixed := HalfBandwidthPoint(fixed, 0.9, 5e-9)
+	if latFixed < 5e-9 || latFixed > 150e-9 {
+		t.Errorf("fixed-block half latency = %g s, paper says ≈70 ns", latFixed)
+	}
+}
+
+func TestRequiredTcPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { RequiredTc(sf2_128, 0, 1e-8) },
+		func() { RequiredTc(sf2_128, 1, 1e-8) },
+		func() { RequiredTc(sf2_128, 0.9, 0) },
+		func() { RequiredTc(AppProperties{F: 1, Cmax: 0, Bmax: 0}, 0.9, 1e-8) },
+		func() { LatencyBudget(AppProperties{F: 1, Cmax: 4, Bmax: 0}, 1e-6, 0) },
+		func() { sf2_128.WithFixedBlocks(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestEfficiencyRoundTrip(t *testing.T) {
+	// Achieving exactly the required Tc yields exactly the target E.
+	for _, e := range []float64{0.5, 0.8, 0.9, 0.99} {
+		if err := Check(sf2_128, e, 5e-9); err > 1e-12 {
+			t.Errorf("E=%g: roundtrip error %g", e, err)
+		}
+	}
+}
+
+func TestEquationTwoConsistency(t *testing.T) {
+	// AchievedTc and PhaseTimes must agree: Tcomm = Cmax · Tc.
+	tl, tw := 2e-6, 50e-9
+	tc := AchievedTc(sf2_128, tl, tw)
+	_, tcomm := PhaseTimes(sf2_128, 5e-9, tl, tw)
+	if math.Abs(tcomm-float64(sf2_128.Cmax)*tc) > 1e-12*tcomm {
+		t.Errorf("Tcomm = %g, Cmax·Tc = %g", tcomm, float64(sf2_128.Cmax)*tc)
+	}
+}
+
+func TestHalfBandwidthSplitsEvenly(t *testing.T) {
+	bw, lat := HalfBandwidthPoint(sf2_128, 0.8, 1e-8)
+	tw := BytesPerWord / bw
+	latPart := float64(sf2_128.Bmax) * lat
+	bwPart := float64(sf2_128.Cmax) * tw
+	if math.Abs(latPart-bwPart) > 1e-12*(latPart+bwPart) {
+		t.Errorf("halves unequal: latency %g vs bandwidth %g", latPart, bwPart)
+	}
+	// And together they meet the requirement exactly.
+	tc := RequiredTc(sf2_128, 0.8, 1e-8)
+	if got := AchievedTc(sf2_128, lat, tw); math.Abs(got-tc) > 1e-12*tc {
+		t.Errorf("achieved Tc %g != required %g", got, tc)
+	}
+}
+
+func TestWithFixedBlocks(t *testing.T) {
+	a := AppProperties{F: 100, Cmax: 1000, Bmax: 10}
+	fixed := a.WithFixedBlocks(4)
+	if fixed.Bmax != 250 {
+		t.Errorf("Bmax = %d, want 250", fixed.Bmax)
+	}
+	if fixed.Cmax != a.Cmax || fixed.F != a.F {
+		t.Error("F/Cmax changed")
+	}
+	tiny := AppProperties{F: 100, Cmax: 3, Bmax: 2}.WithFixedBlocks(8)
+	if tiny.Bmax != 1 {
+		t.Errorf("tiny Bmax = %d, want 1 (rounded up)", tiny.Bmax)
+	}
+}
+
+func TestBisectionBandwidth(t *testing.T) {
+	// V words over a phase of Cmax·Tc seconds.
+	tc := 1e-8
+	got := BisectionBandwidth(1000, 500, tc)
+	want := 1000.0 * 8 / (500 * tc)
+	if math.Abs(got-want) > 1e-9*want {
+		t.Errorf("bisection bw = %g, want %g", got, want)
+	}
+	if BisectionBandwidth(1000, 0, tc) != 0 {
+		t.Error("zero Cmax should yield 0")
+	}
+}
+
+func TestConversions(t *testing.T) {
+	if got := MFLOPS(5e-9); math.Abs(got-200) > 1e-9 {
+		t.Errorf("MFLOPS(5ns) = %g", got)
+	}
+	if got := MBps(3e8); got != 300 {
+		t.Errorf("MBps = %g", got)
+	}
+}
+
+func TestToLogP(t *testing.T) {
+	lp := ToLogP(22e-6, 55e-9, 459, 1e-6, 128)
+	if lp.O != 22e-6 || lp.P != 128 || lp.L != 1e-6 {
+		t.Errorf("LogP = %+v", lp)
+	}
+	if math.Abs(lp.G-459*55e-9) > 1e-15 {
+		t.Errorf("G = %g", lp.G)
+	}
+}
+
+func TestFeasible(t *testing.T) {
+	tc := RequiredTc(sf2_128, 0.9, 5e-9)
+	tw := tc / 2
+	tl := LatencyBudget(sf2_128, tc, tw)
+	if !Feasible(sf2_128, 0.9, 5e-9, tl, tw) {
+		t.Error("exact budget point infeasible")
+	}
+	if Feasible(sf2_128, 0.9, 5e-9, tl*1.5, tw) {
+		t.Error("over-budget point feasible")
+	}
+}
+
+// Property: efficiency is monotone — decreasing in Tl, Tw and
+// increasing in how fast communication is; always in (0, 1].
+func TestQuickEfficiencyMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		app := AppProperties{
+			F:    1000 + r.Int63n(1e7),
+			Cmax: 10 + r.Int63n(1e5),
+			Bmax: 2 + r.Int63n(100),
+		}
+		tf := 1e-9 * (1 + r.Float64()*50)
+		tl := 1e-7 * (1 + r.Float64()*100)
+		tw := 1e-9 * (1 + r.Float64()*100)
+		e := Efficiency(app, tf, tl, tw)
+		if e <= 0 || e > 1 {
+			return false
+		}
+		if Efficiency(app, tf, tl*2, tw) > e {
+			return false
+		}
+		if Efficiency(app, tf, tl, tw*2) > e {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{Values: func(v []reflect.Value, r *rand.Rand) {
+		v[0] = reflect.ValueOf(r.Int63())
+	}}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RequiredTc scales linearly in Tf and in F/Cmax, and the
+// bandwidth requirement explodes as E → 1.
+func TestQuickRequiredTcScaling(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		app := AppProperties{
+			F:    1000 + r.Int63n(1e7),
+			Cmax: 10 + r.Int63n(1e5),
+			Bmax: 2,
+		}
+		e := 0.1 + 0.8*r.Float64()
+		tf := 1e-9 * (1 + r.Float64()*50)
+		tc := RequiredTc(app, e, tf)
+		if math.Abs(RequiredTc(app, e, 2*tf)-2*tc) > 1e-12*tc {
+			return false
+		}
+		// Harder efficiency ⇒ smaller allowed Tc.
+		return RequiredTc(app, math.Min(0.99, e+0.05), tf) < tc
+	}
+	cfg := &quick.Config{Values: func(v []reflect.Value, r *rand.Rand) {
+		v[0] = reflect.ValueOf(r.Int63())
+	}}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the half-bandwidth design point always lies exactly on the
+// requirement curve (feasible with no slack), for any application.
+func TestQuickHalfPointFeasible(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		app := AppProperties{
+			F:    1000 + r.Int63n(1e8),
+			Cmax: 6 * (1 + r.Int63n(1e4)),
+			Bmax: 2 * (1 + r.Int63n(60)),
+		}
+		e := 0.05 + 0.9*r.Float64()
+		tf := 1e-9 * (1 + r.Float64()*100)
+		bw, lat := HalfBandwidthPoint(app, e, tf)
+		tw := BytesPerWord / bw
+		if !Feasible(app, e, tf, lat, tw) {
+			return false
+		}
+		// And 10% more latency must break it.
+		return !Feasible(app, e, tf, lat*1.1, tw)
+	}
+	cfg := &quick.Config{Values: func(v []reflect.Value, r *rand.Rand) {
+		v[0] = reflect.ValueOf(r.Int63())
+	}}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,62 @@
+package model
+
+import "fmt"
+
+// Overlap models the restructured SMVP the paper's footnote 1 alludes
+// to: a PE first computes the block rows of its shared (boundary)
+// nodes, then sends their partial sums while computing its interior
+// rows, hiding communication behind interior computation. With
+// FBoundary flops of boundary work,
+//
+//	T_overlap = FBoundary·T_f + max((F − FBoundary)·T_f, T_comm)
+//
+// versus the phase-separated T = F·T_f + T_comm. The paper deliberately
+// models no overlap ("conservative bandwidth and latency estimates");
+// this type quantifies what overlap would buy, as an upper bound, for
+// the ablation benchmarks.
+type Overlap struct {
+	App       AppProperties
+	FBoundary int64
+}
+
+// Validate reports whether the overlap inputs are consistent.
+func (o Overlap) Validate() error {
+	if err := o.App.Validate(); err != nil {
+		return err
+	}
+	if o.FBoundary < 0 || o.FBoundary > o.App.F {
+		return fmt.Errorf("model: FBoundary %d outside [0, F=%d]", o.FBoundary, o.App.F)
+	}
+	return nil
+}
+
+// Times returns the SMVP time without and with (perfect) overlap.
+func (o Overlap) Times(Tf, Tl, Tw float64) (separated, overlapped float64) {
+	tcomp, tcomm := PhaseTimes(o.App, Tf, Tl, Tw)
+	separated = tcomp + tcomm
+	boundary := float64(o.FBoundary) * Tf
+	interior := tcomp - boundary
+	hidden := tcomm
+	if interior > hidden {
+		hidden = interior
+	}
+	return separated, boundary + hidden
+}
+
+// Speedup returns separated/overlapped time: how much perfect overlap
+// can help. It is at most 2 (communication fully hidden and equal to
+// computation) and approaches 1 when either phase dominates.
+func (o Overlap) Speedup(Tf, Tl, Tw float64) float64 {
+	sep, ov := o.Times(Tf, Tl, Tw)
+	return sep / ov
+}
+
+// Efficiency returns the overlapped efficiency T_comp/T_overlap, the
+// analogue of Efficiency for the restructured kernel. Unlike the
+// separated-phase efficiency it can reach 1 when communication is
+// entirely hidden.
+func (o Overlap) Efficiency(Tf, Tl, Tw float64) float64 {
+	tcomp, _ := PhaseTimes(o.App, Tf, Tl, Tw)
+	_, ov := o.Times(Tf, Tl, Tw)
+	return tcomp / ov
+}

@@ -1,0 +1,87 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestOverlapValidate(t *testing.T) {
+	good := Overlap{App: sf2_128, FBoundary: sf2_128.F / 10}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Overlap{
+		{App: sf2_128, FBoundary: -1},
+		{App: sf2_128, FBoundary: sf2_128.F + 1},
+		{App: AppProperties{F: 0, Cmax: 1, Bmax: 1}, FBoundary: 0},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestOverlapTimes(t *testing.T) {
+	o := Overlap{App: AppProperties{F: 1000, Cmax: 100, Bmax: 4}, FBoundary: 200}
+	tf, tl, tw := 1e-9, 1e-6, 1e-8
+	sep, ov := o.Times(tf, tl, tw)
+	tcomp := 1000 * tf
+	tcomm := 4*tl + 100*tw
+	if math.Abs(sep-(tcomp+tcomm)) > 1e-18 {
+		t.Errorf("separated = %g", sep)
+	}
+	// Interior work = 800 ns; tcomm = 5 µs dominates the hidden part.
+	want := 200*tf + tcomm
+	if math.Abs(ov-want) > 1e-18 {
+		t.Errorf("overlapped = %g, want %g", ov, want)
+	}
+	// Compute-dominated case: interior hides communication entirely.
+	o2 := Overlap{App: AppProperties{F: 100000, Cmax: 10, Bmax: 2}, FBoundary: 100}
+	_, ov2 := o2.Times(tf, 1e-9, 1e-9)
+	if math.Abs(ov2-100000*tf) > 1e-12 {
+		t.Errorf("fully hidden overlapped = %g, want %g", ov2, 100000*tf)
+	}
+	if e := o2.Efficiency(tf, 1e-9, 1e-9); math.Abs(e-1) > 1e-9 {
+		t.Errorf("fully hidden efficiency = %g, want 1", e)
+	}
+}
+
+// Property: overlap never hurts, never more than doubles throughput,
+// and overlapped time is at least both the total computation and the
+// boundary + communication.
+func TestQuickOverlapBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		app := AppProperties{
+			F:    1000 + r.Int63n(1e7),
+			Cmax: 10 + r.Int63n(1e5),
+			Bmax: 2 + r.Int63n(100),
+		}
+		o := Overlap{App: app, FBoundary: r.Int63n(app.F + 1)}
+		tf := 1e-9 * (1 + r.Float64()*30)
+		tl := 1e-7 * (1 + r.Float64()*300)
+		tw := 1e-9 * (1 + r.Float64()*100)
+		sep, ov := o.Times(tf, tl, tw)
+		if ov > sep+1e-18 {
+			return false // overlap hurt
+		}
+		s := o.Speedup(tf, tl, tw)
+		if s < 1-1e-12 || s > 2+1e-12 {
+			return false
+		}
+		tcomp := float64(app.F) * tf
+		_, tcomm := PhaseTimes(app, tf, tl, tw)
+		lower := math.Max(tcomp, float64(o.FBoundary)*tf+tcomm)
+		return ov >= lower-1e-15*lower
+	}
+	cfg := &quick.Config{Values: func(v []reflect.Value, r *rand.Rand) {
+		v[0] = reflect.ValueOf(r.Int63())
+	}}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

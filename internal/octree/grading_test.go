@@ -1,0 +1,36 @@
+package octree
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestPointFeatureScaling documents that a geometrically graded point
+// feature costs O(depth) leaves per level, not an exponential cascade.
+func TestPointFeatureScaling(t *testing.T) {
+	prev := 0
+	for d := 6; d <= 14; d += 2 {
+		cfg := Config{Origin: geom.V(0, 0, 0), CubeSize: 1, Nx: 4, Ny: 1, Nz: 1, MaxDepth: d}
+		hmin := 1.0 / float64(int64(1)<<uint(d))
+		tr, err := Build(cfg, func(p geom.Vec3) float64 {
+			return math.Max(hmin, 0.5*p.Norm())
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.CheckBalanced(); err != nil {
+			t.Fatal(err)
+		}
+		if tr.MaxLeafDepth() != d {
+			t.Fatalf("depth %d: max leaf depth %d", d, tr.MaxLeafDepth())
+		}
+		// Each extra pair of levels should add a roughly constant number
+		// of leaves (a few shells), not multiply the count.
+		if prev > 0 && tr.NumLeaves() > prev+3000 {
+			t.Fatalf("leaf count explodes: %d -> %d for +2 depth", prev, tr.NumLeaves())
+		}
+		prev = tr.NumLeaves()
+	}
+}

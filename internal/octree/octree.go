@@ -1,0 +1,429 @@
+// Package octree builds graded, 2:1-balanced octrees over a box-shaped
+// domain. The domain is covered by an nx×ny×nz grid of equal cubes, and
+// each cube is the root of an octree, so every cell at every depth is a
+// cube (a "forest of octrees"). Cells are addressed by global integer
+// coordinates at their depth, which makes neighbor lookups and vertex
+// deduplication exact: no floating-point comparisons are involved in the
+// tree structure.
+//
+// The tree is the substrate for the conforming tetrahedral mesher in
+// package mesh. Its refinement is driven by a spatial sizing function
+// (target edge length), the same way the Quake project graded its San
+// Fernando meshes by the local seismic wavelength.
+package octree
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// DepthCap is the maximum refinement depth supported. It is bounded so
+// that vertex lattice coordinates (resolution 2^(depth+1) per root cube)
+// always pack into a uint64 key.
+const DepthCap = 18
+
+// Cell identifies one cube of the tree: global integer coordinates
+// (X, Y, Z) at refinement depth Depth. At depth d the grid of possible
+// cells is (nx·2^d) × (ny·2^d) × (nz·2^d).
+type Cell struct {
+	Depth   int8
+	X, Y, Z int32
+}
+
+// Child returns the i-th child (i in 0..7, bit 0 = +x, bit 1 = +y,
+// bit 2 = +z) of the cell.
+func (c Cell) Child(i int) Cell {
+	return Cell{
+		Depth: c.Depth + 1,
+		X:     2*c.X + int32(i&1),
+		Y:     2*c.Y + int32((i>>1)&1),
+		Z:     2*c.Z + int32((i>>2)&1),
+	}
+}
+
+// Parent returns the parent cell. Calling Parent on a depth-0 cell
+// returns the cell itself.
+func (c Cell) Parent() Cell {
+	if c.Depth == 0 {
+		return c
+	}
+	return Cell{Depth: c.Depth - 1, X: c.X / 2, Y: c.Y / 2, Z: c.Z / 2}
+}
+
+// String implements fmt.Stringer.
+func (c Cell) String() string {
+	return fmt.Sprintf("cell(d=%d, %d,%d,%d)", c.Depth, c.X, c.Y, c.Z)
+}
+
+// Sizing is a spatial sizing function: it returns the target maximum
+// cell edge length at a point, in domain units.
+type Sizing func(p geom.Vec3) float64
+
+// Config describes the domain covered by a Tree.
+type Config struct {
+	Origin   geom.Vec3 // minimum corner of the domain
+	CubeSize float64   // edge length of one depth-0 cube
+	Nx, Ny   int       // number of depth-0 cubes along x and y
+	Nz       int       // number of depth-0 cubes along z
+	MaxDepth int       // refinement limit (<= DepthCap)
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.CubeSize <= 0 {
+		return fmt.Errorf("octree: CubeSize must be positive, got %g", c.CubeSize)
+	}
+	if c.Nx <= 0 || c.Ny <= 0 || c.Nz <= 0 {
+		return fmt.Errorf("octree: grid dimensions must be positive, got %d×%d×%d", c.Nx, c.Ny, c.Nz)
+	}
+	if c.MaxDepth < 0 || c.MaxDepth > DepthCap {
+		return fmt.Errorf("octree: MaxDepth must be in [0, %d], got %d", DepthCap, c.MaxDepth)
+	}
+	return nil
+}
+
+// Domain returns the box covered by the tree.
+func (c Config) Domain() geom.Box {
+	return geom.Box{
+		Lo: c.Origin,
+		Hi: c.Origin.Add(geom.V(
+			float64(c.Nx)*c.CubeSize,
+			float64(c.Ny)*c.CubeSize,
+			float64(c.Nz)*c.CubeSize)),
+	}
+}
+
+// Tree is a graded, balanced octree forest. Build trees with Build; the
+// zero Tree is empty.
+type Tree struct {
+	cfg    Config
+	leaves map[Cell]struct{}
+	// depth of the deepest leaf, maintained during refinement.
+	deepest int8
+}
+
+// Build refines the forest described by cfg until every leaf cell's edge
+// length is at most the sizing function sampled at the cell center (or
+// MaxDepth is reached), then enforces 2:1 balance: any two leaves whose
+// closures intersect (sharing a face, edge, or corner) differ by at most
+// one level. Balance is what lets the mesher triangulate coarse/fine
+// interfaces conformingly.
+func Build(cfg Config, h Sizing) (*Tree, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if h == nil {
+		return nil, fmt.Errorf("octree: nil sizing function")
+	}
+	t := &Tree{cfg: cfg, leaves: make(map[Cell]struct{})}
+	// Seed with the depth-0 grid and refine recursively.
+	var stack []Cell
+	for z := 0; z < cfg.Nz; z++ {
+		for y := 0; y < cfg.Ny; y++ {
+			for x := 0; x < cfg.Nx; x++ {
+				stack = append(stack, Cell{0, int32(x), int32(y), int32(z)})
+			}
+		}
+	}
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if int(c.Depth) < cfg.MaxDepth && t.CellSize(c) > t.minSizing(c, h) {
+			for i := 0; i < 8; i++ {
+				stack = append(stack, c.Child(i))
+			}
+			continue
+		}
+		t.leaves[c] = struct{}{}
+		if c.Depth > t.deepest {
+			t.deepest = c.Depth
+		}
+	}
+	t.balance()
+	return t, nil
+}
+
+// minSizing samples the sizing function at the cell center and corners
+// and returns the minimum, so small fine-scale features near a corner of
+// a large cell still trigger refinement.
+func (t *Tree) minSizing(c Cell, h Sizing) float64 {
+	box := t.CellBox(c)
+	min := h(box.Center())
+	for i := 0; i < 8; i++ {
+		p := geom.V(box.Lo.X, box.Lo.Y, box.Lo.Z)
+		if i&1 != 0 {
+			p.X = box.Hi.X
+		}
+		if i&2 != 0 {
+			p.Y = box.Hi.Y
+		}
+		if i&4 != 0 {
+			p.Z = box.Hi.Z
+		}
+		if v := h(p); v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// balance enforces the 2:1 condition by splitting any leaf that is two
+// or more levels coarser than a leaf touching it (sharing a face, edge,
+// or corner). The queue-driven algorithm is the standard one: when a
+// leaf forces a coarser neighbor to split, the new children are enqueued
+// so the constraint propagates, and the forcing leaf is re-enqueued in
+// case the split did not yet bring the neighbor within one level.
+func (t *Tree) balance() {
+	queue := make([]Cell, 0, len(t.leaves))
+	for c := range t.leaves {
+		queue = append(queue, c)
+	}
+	for len(queue) > 0 {
+		c := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if _, ok := t.leaves[c]; !ok {
+			continue // split since it was enqueued
+		}
+		if c.Depth < 2 {
+			continue // nothing can be 2+ levels coarser
+		}
+		nxMax, nyMax, nzMax := t.gridMax(c.Depth)
+		recheck := false
+		for dz := int32(-1); dz <= 1; dz++ {
+			for dy := int32(-1); dy <= 1; dy++ {
+				for dx := int32(-1); dx <= 1; dx++ {
+					if dx == 0 && dy == 0 && dz == 0 {
+						continue
+					}
+					n := Cell{c.Depth, c.X + dx, c.Y + dy, c.Z + dz}
+					if n.X < 0 || n.Y < 0 || n.Z < 0 || n.X >= nxMax || n.Y >= nyMax || n.Z >= nzMax {
+						continue
+					}
+					// Find the leaf at n or at an ancestor of n; split it
+					// if it is 2+ levels coarser than c.
+					for a := n; ; a = a.Parent() {
+						if _, ok := t.leaves[a]; ok {
+							if c.Depth-a.Depth >= 2 {
+								t.split(a, &queue)
+								recheck = true
+							}
+							break
+						}
+						if a.Depth == 0 {
+							break
+						}
+					}
+				}
+			}
+		}
+		if recheck {
+			queue = append(queue, c)
+		}
+	}
+}
+
+// split replaces leaf c with its 8 children and enqueues them.
+func (t *Tree) split(c Cell, queue *[]Cell) {
+	delete(t.leaves, c)
+	for i := 0; i < 8; i++ {
+		ch := c.Child(i)
+		t.leaves[ch] = struct{}{}
+		*queue = append(*queue, ch)
+		if ch.Depth > t.deepest {
+			t.deepest = ch.Depth
+		}
+	}
+}
+
+// gridMax returns the number of cells along each axis at the given depth.
+func (t *Tree) gridMax(depth int8) (nx, ny, nz int32) {
+	s := int32(1) << uint(depth)
+	return int32(t.cfg.Nx) * s, int32(t.cfg.Ny) * s, int32(t.cfg.Nz) * s
+}
+
+// Config returns the configuration the tree was built with.
+func (t *Tree) Config() Config { return t.cfg }
+
+// NumLeaves returns the number of leaf cells.
+func (t *Tree) NumLeaves() int { return len(t.leaves) }
+
+// MaxLeafDepth returns the depth of the deepest leaf.
+func (t *Tree) MaxLeafDepth() int { return int(t.deepest) }
+
+// IsLeaf reports whether c is a leaf of the tree.
+func (t *Tree) IsLeaf(c Cell) bool {
+	_, ok := t.leaves[c]
+	return ok
+}
+
+// Leaves returns all leaf cells in a deterministic order (by depth, then
+// Z, Y, X). The slice is freshly allocated.
+func (t *Tree) Leaves() []Cell {
+	out := make([]Cell, 0, len(t.leaves))
+	for c := range t.leaves {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Depth != b.Depth {
+			return a.Depth < b.Depth
+		}
+		if a.Z != b.Z {
+			return a.Z < b.Z
+		}
+		if a.Y != b.Y {
+			return a.Y < b.Y
+		}
+		return a.X < b.X
+	})
+	return out
+}
+
+// CellSize returns the edge length of a cell at c's depth.
+func (t *Tree) CellSize(c Cell) float64 {
+	return t.cfg.CubeSize / float64(int64(1)<<uint(c.Depth))
+}
+
+// CellBox returns the axis-aligned cube occupied by c.
+func (t *Tree) CellBox(c Cell) geom.Box {
+	s := t.CellSize(c)
+	lo := t.cfg.Origin.Add(geom.V(float64(c.X)*s, float64(c.Y)*s, float64(c.Z)*s))
+	return geom.Box{Lo: lo, Hi: lo.Add(geom.V(s, s, s))}
+}
+
+// CellCenter returns the centroid of c.
+func (t *Tree) CellCenter(c Cell) geom.Vec3 { return t.CellBox(c).Center() }
+
+// Face identifiers for FaceNeighbors: the axis the face is normal to and
+// the side of the cell it is on.
+const (
+	FaceXNeg = iota
+	FaceXPos
+	FaceYNeg
+	FaceYPos
+	FaceZNeg
+	FaceZPos
+	NumFaces
+)
+
+// faceDelta maps a face id to the unit step toward the neighbor.
+var faceDelta = [NumFaces][3]int32{
+	{-1, 0, 0}, {1, 0, 0},
+	{0, -1, 0}, {0, 1, 0},
+	{0, 0, -1}, {0, 0, 1},
+}
+
+// FaceNeighbors returns the leaf cells sharing the given face of leaf c.
+// The result is nil for a domain-boundary face, a single cell when the
+// neighbor is at the same or a coarser depth, or exactly four cells
+// (in child order) when the neighbor side is one level finer. Depths
+// further than one level apart cannot occur in a balanced tree.
+func (t *Tree) FaceNeighbors(c Cell, face int) []Cell {
+	d := faceDelta[face]
+	n := Cell{c.Depth, c.X + d[0], c.Y + d[1], c.Z + d[2]}
+	nxMax, nyMax, nzMax := t.gridMax(c.Depth)
+	if n.X < 0 || n.Y < 0 || n.Z < 0 || n.X >= nxMax || n.Y >= nyMax || n.Z >= nzMax {
+		return nil
+	}
+	if t.IsLeaf(n) {
+		return []Cell{n}
+	}
+	// Coarser: walk ancestors.
+	for a := n; a.Depth > 0; {
+		a = a.Parent()
+		if t.IsLeaf(a) {
+			return []Cell{a}
+		}
+	}
+	// Finer: the four children of n on the shared face. The shared face
+	// of n is the face opposite to `face`.
+	opp := face ^ 1
+	var out []Cell
+	for i := 0; i < 8; i++ {
+		ch := n.Child(i)
+		if childOnFace(i, opp) {
+			out = append(out, ch)
+		}
+	}
+	// In a balanced tree all four must be leaves.
+	for _, ch := range out {
+		if !t.IsLeaf(ch) {
+			panic(fmt.Sprintf("octree: unbalanced tree at %v (neighbor of %v)", ch, c))
+		}
+	}
+	return out
+}
+
+// childOnFace reports whether child index i of a cell touches the given
+// face of its parent.
+func childOnFace(i, face int) bool {
+	switch face {
+	case FaceXNeg:
+		return i&1 == 0
+	case FaceXPos:
+		return i&1 == 1
+	case FaceYNeg:
+		return (i>>1)&1 == 0
+	case FaceYPos:
+		return (i>>1)&1 == 1
+	case FaceZNeg:
+		return (i>>2)&1 == 0
+	case FaceZPos:
+		return (i>>2)&1 == 1
+	}
+	panic(fmt.Sprintf("octree: invalid face %d", face))
+}
+
+// CheckBalanced verifies the 2:1 balance invariant by brute force and
+// returns a descriptive error if it is violated. Intended for tests.
+func (t *Tree) CheckBalanced() error {
+	for c := range t.leaves {
+		if c.Depth < 2 {
+			continue
+		}
+		nxMax, nyMax, nzMax := t.gridMax(c.Depth)
+		for dz := int32(-1); dz <= 1; dz++ {
+			for dy := int32(-1); dy <= 1; dy++ {
+				for dx := int32(-1); dx <= 1; dx++ {
+					if dx == 0 && dy == 0 && dz == 0 {
+						continue
+					}
+					n := Cell{c.Depth, c.X + dx, c.Y + dy, c.Z + dz}
+					if n.X < 0 || n.Y < 0 || n.Z < 0 || n.X >= nxMax || n.Y >= nyMax || n.Z >= nzMax {
+						continue
+					}
+					for a := n; ; a = a.Parent() {
+						if t.IsLeaf(a) {
+							if c.Depth-a.Depth >= 2 {
+								return fmt.Errorf("octree: leaf %v touches leaf %v (%d levels coarser)",
+									c, a, c.Depth-a.Depth)
+							}
+							break
+						}
+						if a.Depth == 0 {
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CoversDomain verifies that the leaves exactly tile the domain by
+// volume accounting. Intended for tests.
+func (t *Tree) CoversDomain() error {
+	var sum float64
+	for c := range t.leaves {
+		s := t.CellSize(c)
+		sum += s * s * s
+	}
+	want := t.cfg.Domain().Volume()
+	if diff := sum - want; diff > 1e-6*want || diff < -1e-6*want {
+		return fmt.Errorf("octree: leaf volume %g != domain volume %g", sum, want)
+	}
+	return nil
+}

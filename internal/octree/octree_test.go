@@ -1,0 +1,286 @@
+package octree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func uniform(h float64) Sizing {
+	return func(geom.Vec3) float64 { return h }
+}
+
+func mustBuild(t *testing.T, cfg Config, h Sizing) *Tree {
+	t.Helper()
+	tr, err := Build(cfg, h)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return tr
+}
+
+func unitCfg(depth int) Config {
+	return Config{Origin: geom.V(0, 0, 0), CubeSize: 1, Nx: 1, Ny: 1, Nz: 1, MaxDepth: depth}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{CubeSize: 0, Nx: 1, Ny: 1, Nz: 1},
+		{CubeSize: 1, Nx: 0, Ny: 1, Nz: 1},
+		{CubeSize: 1, Nx: 1, Ny: -1, Nz: 1},
+		{CubeSize: 1, Nx: 1, Ny: 1, Nz: 1, MaxDepth: DepthCap + 1},
+		{CubeSize: 1, Nx: 1, Ny: 1, Nz: 1, MaxDepth: -1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, cfg)
+		}
+	}
+	if err := unitCfg(3).Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+}
+
+func TestBuildRejectsNilSizing(t *testing.T) {
+	if _, err := Build(unitCfg(2), nil); err == nil {
+		t.Error("Build accepted nil sizing")
+	}
+	if _, err := Build(Config{}, uniform(1)); err == nil {
+		t.Error("Build accepted invalid config")
+	}
+}
+
+func TestUniformRefinement(t *testing.T) {
+	// h = 0.3 on a unit cube forces depth 2 everywhere: 64 leaves.
+	tr := mustBuild(t, unitCfg(5), func(geom.Vec3) float64 { return 0.3 })
+	if got := tr.NumLeaves(); got != 64 {
+		t.Errorf("NumLeaves = %d, want 64", got)
+	}
+	if got := tr.MaxLeafDepth(); got != 2 {
+		t.Errorf("MaxLeafDepth = %d, want 2", got)
+	}
+	if err := tr.CoversDomain(); err != nil {
+		t.Error(err)
+	}
+	if err := tr.CheckBalanced(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoarseSizingKeepsRoots(t *testing.T) {
+	cfg := Config{Origin: geom.V(0, 0, 0), CubeSize: 10, Nx: 5, Ny: 5, Nz: 1, MaxDepth: 6}
+	tr := mustBuild(t, cfg, uniform(100))
+	if got := tr.NumLeaves(); got != 25 {
+		t.Errorf("NumLeaves = %d, want 25 (root grid)", got)
+	}
+	if got := tr.MaxLeafDepth(); got != 0 {
+		t.Errorf("MaxLeafDepth = %d, want 0", got)
+	}
+}
+
+func TestMaxDepthCapsRefinement(t *testing.T) {
+	tr := mustBuild(t, unitCfg(2), uniform(1e-9))
+	if got := tr.MaxLeafDepth(); got != 2 {
+		t.Errorf("MaxLeafDepth = %d, want cap 2", got)
+	}
+	if got := tr.NumLeaves(); got != 64 {
+		t.Errorf("NumLeaves = %d, want 64", got)
+	}
+}
+
+func TestGradedRefinementIsBalanced(t *testing.T) {
+	// Sharp sizing gradient: fine near the origin corner, coarse away.
+	h := func(p geom.Vec3) float64 {
+		d := p.Norm()
+		return math.Max(0.02, d*d*0.3)
+	}
+	tr := mustBuild(t, unitCfg(7), h)
+	if err := tr.CheckBalanced(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CoversDomain(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.MaxLeafDepth() < 4 {
+		t.Errorf("expected deep refinement near origin, max depth = %d", tr.MaxLeafDepth())
+	}
+	// Grading must produce more than the uniform-coarse count but far
+	// fewer than uniform-fine.
+	if n := tr.NumLeaves(); n < 100 || n > 1<<21 {
+		t.Errorf("NumLeaves = %d out of expected graded range", n)
+	}
+}
+
+func TestLeavesDeterministicOrder(t *testing.T) {
+	h := func(p geom.Vec3) float64 { return math.Max(0.05, p.X*0.5) }
+	a := mustBuild(t, unitCfg(6), h).Leaves()
+	b := mustBuild(t, unitCfg(6), h).Leaves()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("leaf %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCellGeometry(t *testing.T) {
+	cfg := Config{Origin: geom.V(10, 20, 30), CubeSize: 8, Nx: 2, Ny: 1, Nz: 1, MaxDepth: 4}
+	tr := mustBuild(t, cfg, uniform(100))
+	c := Cell{Depth: 0, X: 1, Y: 0, Z: 0}
+	box := tr.CellBox(c)
+	if box.Lo != geom.V(18, 20, 30) || box.Hi != geom.V(26, 28, 38) {
+		t.Errorf("CellBox = %v", box)
+	}
+	if got := tr.CellSize(c.Child(0)); got != 4 {
+		t.Errorf("child CellSize = %v", got)
+	}
+	if got := tr.CellCenter(c); got != geom.V(22, 24, 34) {
+		t.Errorf("CellCenter = %v", got)
+	}
+}
+
+func TestChildParentRoundtrip(t *testing.T) {
+	c := Cell{Depth: 3, X: 5, Y: 2, Z: 7}
+	for i := 0; i < 8; i++ {
+		ch := c.Child(i)
+		if ch.Parent() != c {
+			t.Errorf("Child(%d).Parent() = %v, want %v", i, ch.Parent(), c)
+		}
+		if ch.Depth != c.Depth+1 {
+			t.Errorf("Child depth = %d", ch.Depth)
+		}
+	}
+	root := Cell{Depth: 0, X: 1, Y: 1, Z: 0}
+	if root.Parent() != root {
+		t.Errorf("root Parent = %v", root.Parent())
+	}
+}
+
+func TestFaceNeighborsUniform(t *testing.T) {
+	tr := mustBuild(t, unitCfg(3), uniform(0.3)) // uniform depth 2
+	c := Cell{Depth: 2, X: 1, Y: 1, Z: 1}
+	for face := 0; face < NumFaces; face++ {
+		ns := tr.FaceNeighbors(c, face)
+		if len(ns) != 1 {
+			t.Fatalf("face %d: got %d neighbors, want 1", face, len(ns))
+		}
+		d := faceDelta[face]
+		want := Cell{2, c.X + d[0], c.Y + d[1], c.Z + d[2]}
+		if ns[0] != want {
+			t.Errorf("face %d: neighbor %v, want %v", face, ns[0], want)
+		}
+	}
+	// Boundary faces return nil.
+	corner := Cell{Depth: 2, X: 0, Y: 0, Z: 0}
+	if ns := tr.FaceNeighbors(corner, FaceXNeg); ns != nil {
+		t.Errorf("boundary neighbor = %v, want nil", ns)
+	}
+}
+
+func TestFaceNeighborsAcrossLevels(t *testing.T) {
+	// Refine only the corner octant to depth 2, rest stays depth 1.
+	h := func(p geom.Vec3) float64 {
+		if p.X < 0.5 && p.Y < 0.5 && p.Z < 0.5 {
+			return 0.3
+		}
+		return 0.6
+	}
+	tr := mustBuild(t, unitCfg(3), h)
+	if err := tr.CheckBalanced(); err != nil {
+		t.Fatal(err)
+	}
+	// The depth-1 cell at (1,0,0) should see four finer neighbors on its
+	// -x face (the refined corner octant).
+	coarse := Cell{Depth: 1, X: 1, Y: 0, Z: 0}
+	if !tr.IsLeaf(coarse) {
+		t.Fatalf("expected %v to be a leaf", coarse)
+	}
+	ns := tr.FaceNeighbors(coarse, FaceXNeg)
+	if len(ns) != 4 {
+		t.Fatalf("got %d neighbors, want 4: %v", len(ns), ns)
+	}
+	for _, n := range ns {
+		if n.Depth != 2 {
+			t.Errorf("finer neighbor depth = %d", n.Depth)
+		}
+		if n.X != 1 {
+			t.Errorf("finer neighbor X = %d, want 1 (face column)", n.X)
+		}
+	}
+	// And symmetrically, a fine leaf's +x neighbor is the coarse cell.
+	fine := Cell{Depth: 2, X: 1, Y: 0, Z: 0}
+	if !tr.IsLeaf(fine) {
+		t.Fatalf("expected %v to be a leaf", fine)
+	}
+	back := tr.FaceNeighbors(fine, FaceXPos)
+	if len(back) != 1 || back[0] != coarse {
+		t.Errorf("fine -> coarse neighbor = %v, want [%v]", back, coarse)
+	}
+}
+
+func TestFaceNeighborSymmetry(t *testing.T) {
+	// Random graded tree; for every leaf and face, each reported
+	// neighbor must report the original cell back (possibly among four).
+	rng := rand.New(rand.NewSource(42))
+	cx, cy, cz := rng.Float64(), rng.Float64(), rng.Float64()
+	h := func(p geom.Vec3) float64 {
+		d := p.Dist(geom.V(cx, cy, cz))
+		return math.Max(0.03, 0.5*d)
+	}
+	tr := mustBuild(t, unitCfg(6), h)
+	if err := tr.CheckBalanced(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range tr.Leaves() {
+		for face := 0; face < NumFaces; face++ {
+			for _, n := range tr.FaceNeighbors(c, face) {
+				found := false
+				for _, back := range tr.FaceNeighbors(n, face^1) {
+					if back == c {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("asymmetric neighbors: %v face %d -> %v, no back edge", c, face, n)
+				}
+			}
+		}
+	}
+}
+
+func TestLeafVolumeMatchesGradedDomain(t *testing.T) {
+	cfg := Config{Origin: geom.V(-3, 0, 1), CubeSize: 2, Nx: 3, Ny: 2, Nz: 2, MaxDepth: 4}
+	h := func(p geom.Vec3) float64 { return math.Max(0.3, math.Abs(p.X)) }
+	tr := mustBuild(t, cfg, h)
+	if err := tr.CoversDomain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CheckBalanced(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBalancePropagation(t *testing.T) {
+	// A single extremely fine spot must trigger a cascade of splits so
+	// that no leaf touches a leaf 2+ levels away.
+	h := func(p geom.Vec3) float64 {
+		if p.Dist(geom.V(0.01, 0.01, 0.01)) < 0.05 {
+			return 0.002
+		}
+		return 1.0
+	}
+	tr := mustBuild(t, unitCfg(9), h)
+	if err := tr.CheckBalanced(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.MaxLeafDepth() != 9 {
+		t.Errorf("MaxLeafDepth = %d, want 9", tr.MaxLeafDepth())
+	}
+	if err := tr.CoversDomain(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+package octree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestQuickRandomSizings drives Build with randomized smooth sizing
+// functions and checks the structural invariants: the tree covers the
+// domain exactly and is 2:1 balanced, for any grading.
+func TestQuickRandomSizings(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := Config{
+			Origin:   geom.V(rng.Float64(), rng.Float64(), rng.Float64()),
+			CubeSize: 0.5 + rng.Float64()*2,
+			Nx:       1 + rng.Intn(3),
+			Ny:       1 + rng.Intn(3),
+			Nz:       1 + rng.Intn(2),
+			MaxDepth: 4 + rng.Intn(2),
+		}
+		// Random mixture of point attractors with random strengths.
+		type attractor struct {
+			p geom.Vec3
+			s float64
+		}
+		var as []attractor
+		dom := cfg.Domain()
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			as = append(as, attractor{
+				p: geom.Lerp(dom.Lo, dom.Hi, rng.Float64()),
+				s: 0.2 + rng.Float64(),
+			})
+		}
+		hmin := cfg.CubeSize / float64(int64(1)<<uint(cfg.MaxDepth))
+		h := func(p geom.Vec3) float64 {
+			best := cfg.CubeSize
+			for _, a := range as {
+				if v := math.Max(hmin, a.s*p.Dist(a.p)); v < best {
+					best = v
+				}
+			}
+			return best
+		}
+		tr, err := Build(cfg, h)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := tr.CheckBalanced(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := tr.CoversDomain(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if tr.NumLeaves() < cfg.Nx*cfg.Ny*cfg.Nz {
+			t.Fatalf("seed %d: fewer leaves than roots", seed)
+		}
+	}
+}

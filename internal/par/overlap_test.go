@@ -1,0 +1,124 @@
+package par
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/partition"
+)
+
+func TestOverlappedMatchesSequential(t *testing.T) {
+	f := newFixture(t)
+	n3 := 3 * f.m.NumNodes()
+	rng := rand.New(rand.NewSource(8))
+	x := make([]float64, n3)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := make([]float64, n3)
+	f.sys.K.MulVec(want, x)
+
+	for _, p := range []int{1, 2, 4, 8, 13} {
+		d, _ := f.dist(t, p, partition.RCB)
+		got := make([]float64, n3)
+		tm, err := d.SMVPOverlapped(got, x)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+				t.Fatalf("p=%d: y[%d] = %g, want %g", p, i, got[i], want[i])
+			}
+		}
+		if tm.MaxCompute() <= 0 {
+			t.Errorf("p=%d: no compute time", p)
+		}
+	}
+}
+
+func TestOverlappedMatchesPhased(t *testing.T) {
+	f := newFixture(t)
+	d, _ := f.dist(t, 8, partition.Multilevel)
+	n3 := 3 * f.m.NumNodes()
+	x := make([]float64, n3)
+	for i := range x {
+		x[i] = math.Cos(float64(i) * 0.1)
+	}
+	a := make([]float64, n3)
+	b := make([]float64, n3)
+	if _, err := d.SMVP(a, x); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.SMVPOverlapped(b, x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-9*(1+math.Abs(a[i])) {
+			t.Fatalf("phased/overlapped mismatch at %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+func TestBoundaryInteriorPartition(t *testing.T) {
+	f := newFixture(t)
+	d, pr := f.dist(t, 8, partition.RCB)
+	for pe := 0; pe < d.P; pe++ {
+		// Boundary ∪ Interior = all local rows, disjoint.
+		seen := make(map[int32]bool)
+		for _, l := range d.Boundary[pe] {
+			seen[l] = true
+		}
+		for _, l := range d.Interior[pe] {
+			if seen[l] {
+				t.Fatalf("PE %d: row %d both boundary and interior", pe, l)
+			}
+			seen[l] = true
+		}
+		if len(seen) != len(d.Nodes[pe]) {
+			t.Fatalf("PE %d: %d rows classified, %d local nodes", pe, len(seen), len(d.Nodes[pe]))
+		}
+		// Every boundary row's global node is shared per the profile.
+		for _, l := range d.Boundary[pe] {
+			g := d.Nodes[pe][l]
+			if len(pr.NodePEs[g]) < 2 {
+				t.Fatalf("PE %d: boundary row %d (node %d) not shared", pe, l, g)
+			}
+		}
+	}
+	fr := d.BoundaryFraction()
+	for pe, v := range fr {
+		if v <= 0 || v >= 1 {
+			t.Errorf("PE %d: boundary fraction %g (mesh large enough to have interior)", pe, v)
+		}
+	}
+}
+
+func TestOverlappedErrors(t *testing.T) {
+	f := newFixture(t)
+	d, _ := f.dist(t, 2, partition.RCB)
+	if _, err := d.SMVPOverlapped(make([]float64, 1), make([]float64, 3*d.GlobalNodes)); err == nil {
+		t.Error("short y accepted")
+	}
+	if _, err := d.SMVPOverlapped(make([]float64, 3*d.GlobalNodes), make([]float64, 1)); err == nil {
+		t.Error("short x accepted")
+	}
+}
+
+// TestProfileBoundaryFlops validates the FBoundary accounting added to
+// the partition profile against the runtime's row classification.
+func TestProfileBoundaryFlops(t *testing.T) {
+	f := newFixture(t)
+	d, pr := f.dist(t, 8, partition.RCB)
+	for pe := 0; pe < d.P; pe++ {
+		if pr.FBoundary[pe] < 0 || pr.FBoundary[pe] > pr.F[pe] {
+			t.Fatalf("PE %d: FBoundary %d outside [0, %d]", pe, pr.FBoundary[pe], pr.F[pe])
+		}
+		if len(d.Boundary[pe]) > 0 && pr.FBoundary[pe] == 0 {
+			t.Fatalf("PE %d: boundary rows exist but FBoundary = 0", pe)
+		}
+	}
+	if pr.FBoundaryMax() <= 0 {
+		t.Error("FBoundaryMax not positive")
+	}
+}

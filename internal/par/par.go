@@ -1,0 +1,391 @@
+// Package par executes the parallel SMVP for real, on goroutine "PEs",
+// following exactly the structure the paper models: a computation phase
+// (each PE multiplies its local stiffness matrix by its local vector)
+// separated by barriers from a communication phase (PEs sharing mesh
+// nodes exchange and sum their partial nodal results). It provides the
+// ground truth against which the closed-form model and the discrete
+// simulator are validated, and measures the achieved per-flop time T_f
+// on the host.
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/fem"
+	"repro/internal/geom"
+	"repro/internal/material"
+	"repro/internal/mesh"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+)
+
+// Dist is a distributed SMVP operator: per-PE local stiffness matrices
+// assembled from each subdomain's own elements (so the global K is the
+// sum of the scattered locals), plus the shared-node exchange lists.
+type Dist struct {
+	P           int
+	GlobalNodes int
+	// Nodes[i] lists the global ids of the nodes resident on PE i,
+	// sorted ascending. Local index l on PE i refers to Nodes[i][l].
+	Nodes [][]int32
+	// K[i] is PE i's local stiffness in local numbering, holding only
+	// the contributions of PE i's own elements.
+	K []*sparse.BCSR
+	// Neighbors[i] lists the PEs that share at least one node with i.
+	Neighbors [][]int32
+	// Shared[i][k] lists the local indices (into Nodes[i]) of the nodes
+	// PE i shares with Neighbors[i][k], ordered by global id — the same
+	// order both endpoints use, so exchanged buffers line up.
+	Shared [][][]int32
+	// Owner[v] is the PE responsible for writing node v's result back
+	// to a global vector (the lowest-numbered PE of its residency set).
+	Owner []int32
+	// Boundary[i] lists the local indices of PE i's shared nodes (rows
+	// that must be computed before the exchange can begin); Interior[i]
+	// is the complement. Both are sorted.
+	Boundary [][]int32
+	Interior [][]int32
+}
+
+// NewDist builds the distributed operator from a mesh, a material
+// model, and a partition with its analysis profile.
+func NewDist(m *mesh.Mesh, mat *material.Model, pt *partition.Partition, pr *partition.Profile) (*Dist, error) {
+	if pr.P != pt.P {
+		return nil, fmt.Errorf("par: profile has %d PEs, partition %d", pr.P, pt.P)
+	}
+	p := pt.P
+	d := &Dist{
+		P:           p,
+		GlobalNodes: m.NumNodes(),
+		Nodes:       pr.NodesOnPE,
+		K:           make([]*sparse.BCSR, p),
+		Neighbors:   make([][]int32, p),
+		Shared:      make([][][]int32, p),
+		Owner:       make([]int32, m.NumNodes()),
+	}
+	for v, pes := range pr.NodePEs {
+		if len(pes) == 0 {
+			return nil, fmt.Errorf("par: node %d resides nowhere", v)
+		}
+		d.Owner[v] = pes[0]
+	}
+
+	// Global-to-local maps.
+	g2l := make([]map[int32]int32, p)
+	for i := 0; i < p; i++ {
+		g2l[i] = make(map[int32]int32, len(d.Nodes[i]))
+		for l, g := range d.Nodes[i] {
+			g2l[i][g] = int32(l)
+		}
+	}
+
+	// Elements per PE, then local structure and assembly.
+	elems := make([][]int32, p)
+	for e, pe := range pt.ElemPE {
+		elems[pe] = append(elems[pe], int32(e))
+	}
+	for i := 0; i < p; i++ {
+		// Local edge set from this PE's elements.
+		seen := make(map[uint64]struct{})
+		var edges [][2]int32
+		for _, e := range elems[i] {
+			t := m.Tets[e]
+			for a := 0; a < 4; a++ {
+				for b := a + 1; b < 4; b++ {
+					la, lb := g2l[i][t[a]], g2l[i][t[b]]
+					if la > lb {
+						la, lb = lb, la
+					}
+					key := uint64(la)<<32 | uint64(lb)
+					if _, ok := seen[key]; ok {
+						continue
+					}
+					seen[key] = struct{}{}
+					edges = append(edges, [2]int32{la, lb})
+				}
+			}
+		}
+		k := sparse.NewBCSRStructure(len(d.Nodes[i]), edges)
+		for _, e := range elems[i] {
+			t := m.Tets[e]
+			var v [4]geom.Vec3
+			for a := 0; a < 4; a++ {
+				v[a] = m.Coords[t[a]]
+			}
+			lambda, mu, _ := mat.Elastic(m.Centroid(int(e)))
+			blocks, _, ok := fem.ElementStiffness(v, lambda, mu)
+			if !ok {
+				return nil, fmt.Errorf("par: degenerate element %d", e)
+			}
+			for a := 0; a < 4; a++ {
+				for b := 0; b < 4; b++ {
+					k.AddBlock(g2l[i][t[a]], g2l[i][t[b]], &blocks[a][b])
+				}
+			}
+		}
+		d.K[i] = k
+	}
+
+	// Exchange lists from the residency sets: for every node on 2+ PEs,
+	// record it under each unordered PE pair. Node ids ascend during the
+	// scan, so each per-pair list is automatically in global-id order.
+	type pair struct{ a, b int32 }
+	sharedByPair := make(map[pair][]int32)
+	for v, pes := range pr.NodePEs {
+		for x := 0; x < len(pes); x++ {
+			for y := x + 1; y < len(pes); y++ {
+				pr := pair{pes[x], pes[y]}
+				sharedByPair[pr] = append(sharedByPair[pr], int32(v))
+			}
+		}
+	}
+	nbrSet := make([]map[int32][]int32, p) // neighbor -> shared globals
+	for i := range nbrSet {
+		nbrSet[i] = make(map[int32][]int32)
+	}
+	for pr, nodes := range sharedByPair {
+		nbrSet[pr.a][pr.b] = nodes
+		nbrSet[pr.b][pr.a] = nodes
+	}
+	for i := 0; i < p; i++ {
+		for nbr := range nbrSet[i] {
+			d.Neighbors[i] = append(d.Neighbors[i], nbr)
+		}
+		sort.Slice(d.Neighbors[i], func(a, b int) bool { return d.Neighbors[i][a] < d.Neighbors[i][b] })
+		d.Shared[i] = make([][]int32, len(d.Neighbors[i]))
+		for k, nbr := range d.Neighbors[i] {
+			globals := nbrSet[i][nbr]
+			locals := make([]int32, len(globals))
+			for s, g := range globals {
+				locals[s] = g2l[i][g]
+			}
+			d.Shared[i][k] = locals
+		}
+	}
+
+	// Boundary/interior row split for the overlapped kernel.
+	d.Boundary = make([][]int32, p)
+	d.Interior = make([][]int32, p)
+	for i := 0; i < p; i++ {
+		isBoundary := make([]bool, len(d.Nodes[i]))
+		for _, locals := range d.Shared[i] {
+			for _, l := range locals {
+				isBoundary[l] = true
+			}
+		}
+		for l := range d.Nodes[i] {
+			if isBoundary[l] {
+				d.Boundary[i] = append(d.Boundary[i], int32(l))
+			} else {
+				d.Interior[i] = append(d.Interior[i], int32(l))
+			}
+		}
+	}
+	return d, nil
+}
+
+// Timing reports per-PE phase durations of one distributed SMVP.
+type Timing struct {
+	Compute []time.Duration
+	Comm    []time.Duration
+}
+
+// MaxCompute returns the longest computation phase across PEs.
+func (t *Timing) MaxCompute() time.Duration { return maxDur(t.Compute) }
+
+// MaxComm returns the longest communication phase across PEs.
+func (t *Timing) MaxComm() time.Duration { return maxDur(t.Comm) }
+
+func maxDur(ds []time.Duration) time.Duration {
+	var m time.Duration
+	for _, d := range ds {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// SMVP computes y = K·x with the distributed operator: scatter x,
+// parallel local SMVPs, barrier, partial-sum exchange, gather. x and y
+// are global vectors of length 3·GlobalNodes. The returned Timing holds
+// the per-PE phase durations of this invocation.
+func (d *Dist) SMVP(y, x []float64) (*Timing, error) {
+	if len(x) != 3*d.GlobalNodes || len(y) != 3*d.GlobalNodes {
+		return nil, fmt.Errorf("par: SMVP needs vectors of length %d, got %d/%d",
+			3*d.GlobalNodes, len(x), len(y))
+	}
+	tm := &Timing{
+		Compute: make([]time.Duration, d.P),
+		Comm:    make([]time.Duration, d.P),
+	}
+	xloc := make([][]float64, d.P)
+	yloc := make([][]float64, d.P)
+	// mail[i][k] is the buffer sent by PE i to its k-th neighbor.
+	mail := make([][][]float64, d.P)
+
+	// Scatter phase (not timed: distribution of x is part of the
+	// surrounding application, which keeps x resident).
+	parallelFor(d.P, func(pe int) {
+		nodes := d.Nodes[pe]
+		xl := make([]float64, 3*len(nodes))
+		for l, g := range nodes {
+			copy(xl[3*l:3*l+3], x[3*g:3*g+3])
+		}
+		xloc[pe] = xl
+		yloc[pe] = make([]float64, 3*len(nodes))
+		mail[pe] = make([][]float64, len(d.Neighbors[pe]))
+	})
+
+	// Computation phase.
+	parallelFor(d.P, func(pe int) {
+		start := time.Now()
+		d.K[pe].MulVec(yloc[pe], xloc[pe])
+		tm.Compute[pe] = time.Since(start)
+	})
+
+	// Communication phase, step 1: post partial sums for each neighbor.
+	parallelFor(d.P, func(pe int) {
+		start := time.Now()
+		for k, locals := range d.Shared[pe] {
+			buf := make([]float64, 3*len(locals))
+			for s, l := range locals {
+				copy(buf[3*s:3*s+3], yloc[pe][3*l:3*l+3])
+			}
+			mail[pe][k] = buf
+		}
+		tm.Comm[pe] = time.Since(start)
+	})
+
+	// Communication phase, step 2: receive and accumulate. Neighbor
+	// lists are symmetric, so PE pe is neighbor index revIdx on the
+	// other side.
+	parallelFor(d.P, func(pe int) {
+		start := time.Now()
+		for k, nbr := range d.Neighbors[pe] {
+			rev := indexOf(d.Neighbors[nbr], int32(pe))
+			buf := mail[nbr][rev]
+			locals := d.Shared[pe][k]
+			for s, l := range locals {
+				yloc[pe][3*l] += buf[3*s]
+				yloc[pe][3*l+1] += buf[3*s+1]
+				yloc[pe][3*l+2] += buf[3*s+2]
+			}
+		}
+		tm.Comm[pe] += time.Since(start)
+	})
+
+	// Gather phase: owners write their nodes' results.
+	parallelFor(d.P, func(pe int) {
+		for l, g := range d.Nodes[pe] {
+			if d.Owner[g] != int32(pe) {
+				continue
+			}
+			copy(y[3*g:3*g+3], yloc[pe][3*l:3*l+3])
+		}
+	})
+	return tm, nil
+}
+
+// FlopsPerPE returns the flop count of each PE's local SMVP (2 flops
+// per stored scalar). Note this is the element-assembled operator, so
+// it can be slightly below the paper's residency-based F when a shared
+// node pair's connecting elements all live on another PE.
+func (d *Dist) FlopsPerPE() []int64 {
+	out := make([]int64, d.P)
+	for i, k := range d.K {
+		out[i] = int64(2 * k.NNZ())
+	}
+	return out
+}
+
+// indexOf returns the position of v in the sorted slice s, or -1.
+func indexOf(s []int32, v int32) int {
+	lo := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	if lo < len(s) && s[lo] == v {
+		return lo
+	}
+	return -1
+}
+
+// parallelFor runs body(0..n-1) on up to GOMAXPROCS goroutines and
+// waits for all of them (an implicit barrier).
+func parallelFor(n int, body func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				body(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// MeasureTf times repeated local SMVPs on the host and returns the
+// achieved seconds per flop (the paper's T_f, Section 3.1). The matrix
+// should be large enough to overflow cache for a realistic figure.
+func MeasureTf(k *sparse.BCSR, iters int) float64 {
+	if iters <= 0 {
+		iters = 1
+	}
+	x := make([]float64, 3*k.N)
+	y := make([]float64, 3*k.N)
+	for i := range x {
+		x[i] = float64(i%7) * 0.25
+	}
+	k.MulVec(y, x) // warm up
+	start := time.Now()
+	for it := 0; it < iters; it++ {
+		k.MulVec(y, x)
+	}
+	elapsed := time.Since(start).Seconds()
+	return elapsed / (float64(iters) * float64(2*k.NNZ()))
+}
+
+// Operator adapts the distributed SMVP to the solver.Operator
+// interface, so conjugate gradients (package solver) can run on the
+// goroutine-PE runtime: every CG iteration then exercises exactly the
+// computation+exchange structure the paper models, plus the dot
+// products an implicit method adds.
+type Operator struct {
+	D *Dist
+	// Shift, when positive, adds Shift·diag(mass) like solver.Shifted,
+	// making the operator positive definite for CG.
+	Shift float64
+	// MassNode is required when Shift is positive.
+	MassNode []float64
+}
+
+// Apply implements solver.Operator.
+func (o Operator) Apply(y, x []float64) {
+	if _, err := o.D.SMVP(y, x); err != nil {
+		panic(err) // dimensions are fixed at construction; see solver.CG
+	}
+	if o.Shift > 0 {
+		for i, m := range o.MassNode {
+			f := o.Shift * m
+			y[3*i] += f * x[3*i]
+			y[3*i+1] += f * x[3*i+1]
+			y[3*i+2] += f * x[3*i+2]
+		}
+	}
+}
+
+// Dim implements solver.Operator.
+func (o Operator) Dim() int { return 3 * o.D.GlobalNodes }

@@ -1,0 +1,471 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mesh"
+)
+
+// Multilevel is a multilevel graph partitioner in the style of
+// Chaco/METIS, which the paper cites as the modern alternative to its
+// geometric partitioner: the element dual graph is coarsened by
+// heavy-edge matching, bisected greedily at the coarsest level, and the
+// bisection is refined with Kernighan-Lin/Fiduccia-Mattheyses boundary
+// passes as it is projected back up. Recursive bisection extends it to
+// arbitrary part counts.
+const Multilevel Method = 100
+
+// graph is a weighted undirected graph in CSR form.
+type graph struct {
+	xadj []int64
+	adj  []int32
+	ew   []int32 // edge weights, parallel to adj
+	vw   []int32 // vertex weights
+}
+
+func (g *graph) n() int { return len(g.vw) }
+
+// totalVW returns the sum of the selected vertices' weights.
+func totalVW(g *graph, verts []int32) int64 {
+	var s int64
+	for _, v := range verts {
+		s += int64(g.vw[v])
+	}
+	return s
+}
+
+// elementDualGraph builds the face-adjacency graph of the mesh's
+// elements: vertices are elements (weight 1), and two elements are
+// connected when they share a triangular face (weight 1). Conforming
+// tet meshes give each element at most four neighbors.
+func elementDualGraph(m *mesh.Mesh) (*graph, error) {
+	ne := m.NumElems()
+	if m.NumNodes() >= 1<<21 {
+		return nil, fmt.Errorf("partition: mesh too large for packed face keys (%d nodes)", m.NumNodes())
+	}
+	type faceRef struct {
+		key  uint64
+		elem int32
+	}
+	refs := make([]faceRef, 0, 4*ne)
+	for e, t := range m.Tets {
+		for omit := 0; omit < 4; omit++ {
+			var f [3]int32
+			k := 0
+			for i := 0; i < 4; i++ {
+				if i != omit {
+					f[k] = t[i]
+					k++
+				}
+			}
+			if f[0] > f[1] {
+				f[0], f[1] = f[1], f[0]
+			}
+			if f[1] > f[2] {
+				f[1], f[2] = f[2], f[1]
+			}
+			if f[0] > f[1] {
+				f[0], f[1] = f[1], f[0]
+			}
+			refs = append(refs, faceRef{
+				key:  uint64(f[0])<<42 | uint64(f[1])<<21 | uint64(f[2]),
+				elem: int32(e),
+			})
+		}
+	}
+	sort.Slice(refs, func(a, b int) bool {
+		if refs[a].key != refs[b].key {
+			return refs[a].key < refs[b].key
+		}
+		return refs[a].elem < refs[b].elem
+	})
+	deg := make([]int64, ne+1)
+	for i := 1; i < len(refs); i++ {
+		if refs[i].key == refs[i-1].key {
+			deg[refs[i-1].elem+1]++
+			deg[refs[i].elem+1]++
+		}
+	}
+	for i := 0; i < ne; i++ {
+		deg[i+1] += deg[i]
+	}
+	g := &graph{
+		xadj: deg,
+		adj:  make([]int32, deg[ne]),
+		ew:   make([]int32, deg[ne]),
+		vw:   make([]int32, ne),
+	}
+	for i := range g.vw {
+		g.vw[i] = 1
+	}
+	for i := range g.ew {
+		g.ew[i] = 1
+	}
+	cursor := make([]int64, ne)
+	copy(cursor, g.xadj[:ne])
+	for i := 1; i < len(refs); i++ {
+		if refs[i].key == refs[i-1].key {
+			a, b := refs[i-1].elem, refs[i].elem
+			g.adj[cursor[a]] = b
+			cursor[a]++
+			g.adj[cursor[b]] = a
+			cursor[b]++
+		}
+	}
+	return g, nil
+}
+
+// multilevelPartition assigns parts PEs (starting at base) to the
+// vertices listed in verts, writing results into out.
+func multilevelPartition(g *graph, verts []int32, base, parts int, out []int32) {
+	if parts == 1 {
+		for _, v := range verts {
+			out[v] = int32(base)
+		}
+		return
+	}
+	left := parts / 2
+	targetLeft := totalVW(g, verts) * int64(left) / int64(parts)
+	side := bisectMultilevel(g, verts, targetLeft)
+	var lv, rv []int32
+	for i, v := range verts {
+		if side[i] == 0 {
+			lv = append(lv, v)
+		} else {
+			rv = append(rv, v)
+		}
+	}
+	// Degenerate split guard: fall back to an index split.
+	if len(lv) == 0 || len(rv) == 0 {
+		k := len(verts) * left / parts
+		if k < 1 {
+			k = 1
+		}
+		lv, rv = verts[:k], verts[k:]
+	}
+	multilevelPartition(g, lv, base, left, out)
+	multilevelPartition(g, rv, base+left, parts-left, out)
+}
+
+// bisectMultilevel bisects the induced subgraph on verts into sides 0
+// and 1 with target weight targetLeft on side 0. Returns the side of
+// each vertex, parallel to verts.
+func bisectMultilevel(g *graph, verts []int32, targetLeft int64) []int8 {
+	sub := induce(g, verts)
+	const coarsestSize = 160
+	var hierarchy []*coarsening
+	cur := sub
+	for cur.n() > coarsestSize {
+		c := coarsen(cur)
+		// Matching stalls (e.g. disconnected star graphs): stop.
+		if c.coarse.n() >= cur.n()*9/10 {
+			break
+		}
+		hierarchy = append(hierarchy, c)
+		cur = c.coarse
+	}
+	side := initialBisect(cur, targetLeft)
+	refine(cur, side, targetLeft)
+	for i := len(hierarchy) - 1; i >= 0; i-- {
+		c := hierarchy[i]
+		fineSide := make([]int8, c.fine.n())
+		for v := range fineSide {
+			fineSide[v] = side[c.match[v]]
+		}
+		side = fineSide
+		refine(c.fine, side, targetLeft)
+	}
+	return side
+}
+
+// induce extracts the subgraph on verts with vertices renumbered
+// 0..len(verts)-1.
+func induce(g *graph, verts []int32) *graph {
+	local := make(map[int32]int32, len(verts))
+	for i, v := range verts {
+		local[v] = int32(i)
+	}
+	sub := &graph{xadj: make([]int64, len(verts)+1), vw: make([]int32, len(verts))}
+	for i, v := range verts {
+		sub.vw[i] = g.vw[v]
+		for k := g.xadj[v]; k < g.xadj[v+1]; k++ {
+			if _, ok := local[g.adj[k]]; ok {
+				sub.xadj[i+1]++
+			}
+		}
+	}
+	for i := 0; i < len(verts); i++ {
+		sub.xadj[i+1] += sub.xadj[i]
+	}
+	sub.adj = make([]int32, sub.xadj[len(verts)])
+	sub.ew = make([]int32, len(sub.adj))
+	cursor := make([]int64, len(verts))
+	copy(cursor, sub.xadj[:len(verts)])
+	for i, v := range verts {
+		for k := g.xadj[v]; k < g.xadj[v+1]; k++ {
+			if l, ok := local[g.adj[k]]; ok {
+				sub.adj[cursor[i]] = l
+				sub.ew[cursor[i]] = g.ew[k]
+				cursor[i]++
+			}
+		}
+	}
+	return sub
+}
+
+// coarsening records one level of the multilevel hierarchy.
+type coarsening struct {
+	fine   *graph
+	coarse *graph
+	match  []int32 // fine vertex -> coarse vertex
+}
+
+// coarsen contracts a heavy-edge matching of g.
+func coarsen(g *graph) *coarsening {
+	n := g.n()
+	match := make([]int32, n)
+	for i := range match {
+		match[i] = -1
+	}
+	coarseID := int32(0)
+	// Visit vertices in order; deterministic and cache-friendly.
+	for v := 0; v < n; v++ {
+		if match[v] >= 0 {
+			continue
+		}
+		bestW := int32(-1)
+		best := int32(-1)
+		for k := g.xadj[v]; k < g.xadj[v+1]; k++ {
+			u := g.adj[k]
+			if match[u] < 0 && u != int32(v) && g.ew[k] > bestW {
+				bestW = g.ew[k]
+				best = u
+			}
+		}
+		match[v] = coarseID
+		if best >= 0 {
+			match[best] = coarseID
+		}
+		coarseID++
+	}
+	// Build the coarse graph by aggregating edges.
+	cn := int(coarseID)
+	cvw := make([]int32, cn)
+	for v := 0; v < n; v++ {
+		cvw[match[v]] += g.vw[v]
+	}
+	type cedge struct {
+		a, b int32
+		w    int32
+	}
+	edges := make([]cedge, 0, len(g.adj)/2)
+	for v := 0; v < n; v++ {
+		cv := match[v]
+		for k := g.xadj[v]; k < g.xadj[v+1]; k++ {
+			cu := match[g.adj[k]]
+			if cv < cu {
+				edges = append(edges, cedge{cv, cu, g.ew[k]})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		return edges[i].b < edges[j].b
+	})
+	coarse := &graph{xadj: make([]int64, cn+1), vw: cvw}
+	uniq := 0
+	for i := 0; i < len(edges); {
+		j := i
+		for j < len(edges) && edges[j].a == edges[i].a && edges[j].b == edges[i].b {
+			j++
+		}
+		coarse.xadj[edges[i].a+1]++
+		coarse.xadj[edges[i].b+1]++
+		uniq++
+		i = j
+	}
+	for i := 0; i < cn; i++ {
+		coarse.xadj[i+1] += coarse.xadj[i]
+	}
+	cadj := make([]int32, 2*uniq)
+	cew := make([]int32, 2*uniq)
+	cursor := make([]int64, cn)
+	copy(cursor, coarse.xadj[:cn])
+	for i := 0; i < len(edges); {
+		j := i
+		w := int32(0)
+		for j < len(edges) && edges[j].a == edges[i].a && edges[j].b == edges[i].b {
+			w += edges[j].w
+			j++
+		}
+		a, b := edges[i].a, edges[i].b
+		cadj[cursor[a]] = b
+		cew[cursor[a]] = w
+		cursor[a]++
+		cadj[cursor[b]] = a
+		cew[cursor[b]] = w
+		cursor[b]++
+		i = j
+	}
+	coarse.adj = cadj
+	coarse.ew = cew
+	return &coarsening{fine: g, coarse: coarse, match: match}
+}
+
+// initialBisect grows side 0 by BFS from a pseudo-peripheral vertex
+// until it holds targetLeft weight.
+func initialBisect(g *graph, targetLeft int64) []int8 {
+	n := g.n()
+	side := make([]int8, n)
+	for i := range side {
+		side[i] = 1
+	}
+	if n == 0 {
+		return side
+	}
+	start := pseudoPeripheral(g)
+	var w int64
+	queue := []int32{start}
+	visited := make([]bool, n)
+	visited[start] = true
+	for len(queue) > 0 && w < targetLeft {
+		v := queue[0]
+		queue = queue[1:]
+		side[v] = 0
+		w += int64(g.vw[v])
+		for k := g.xadj[v]; k < g.xadj[v+1]; k++ {
+			u := g.adj[k]
+			if !visited[u] {
+				visited[u] = true
+				queue = append(queue, u)
+			}
+		}
+		// Disconnected graph: restart BFS from any unvisited vertex.
+		if len(queue) == 0 && w < targetLeft {
+			for u := 0; u < n; u++ {
+				if !visited[u] {
+					visited[u] = true
+					queue = append(queue, int32(u))
+					break
+				}
+			}
+		}
+	}
+	return side
+}
+
+// pseudoPeripheral runs two BFS sweeps to find a vertex far from the
+// graph's "center", a good seed for region growing.
+func pseudoPeripheral(g *graph) int32 {
+	far := bfsFarthest(g, 0)
+	return bfsFarthest(g, far)
+}
+
+func bfsFarthest(g *graph, start int32) int32 {
+	n := g.n()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[start] = 0
+	queue := []int32{start}
+	last := start
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		last = v
+		for k := g.xadj[v]; k < g.xadj[v+1]; k++ {
+			u := g.adj[k]
+			if dist[u] < 0 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return last
+}
+
+// refine runs greedy KL/FM-style boundary passes: repeatedly move the
+// boundary vertex with the best cut gain to the other side, provided
+// the move keeps the side weights within tolerance of the target.
+func refine(g *graph, side []int8, targetLeft int64) {
+	n := g.n()
+	var total int64
+	for v := 0; v < n; v++ {
+		total += int64(g.vw[v])
+	}
+	var wLeft int64
+	for v := 0; v < n; v++ {
+		if side[v] == 0 {
+			wLeft += int64(g.vw[v])
+		}
+	}
+	tol := total / 50 // 2% imbalance allowance
+	if tol < 2 {
+		tol = 2
+	}
+	gain := func(v int32) int32 {
+		var ext, intw int32
+		for k := g.xadj[v]; k < g.xadj[v+1]; k++ {
+			if side[g.adj[k]] == side[v] {
+				intw += g.ew[k]
+			} else {
+				ext += g.ew[k]
+			}
+		}
+		return ext - intw
+	}
+	for pass := 0; pass < 8; pass++ {
+		moved := 0
+		for v := int32(0); int(v) < n; v++ {
+			// Only boundary vertices can have positive gain.
+			onBoundary := false
+			for k := g.xadj[v]; k < g.xadj[v+1]; k++ {
+				if side[g.adj[k]] != side[v] {
+					onBoundary = true
+					break
+				}
+			}
+			if !onBoundary {
+				continue
+			}
+			gv := gain(v)
+			if gv <= 0 {
+				continue
+			}
+			// Balance check for the move.
+			var newLeft int64
+			if side[v] == 0 {
+				newLeft = wLeft - int64(g.vw[v])
+			} else {
+				newLeft = wLeft + int64(g.vw[v])
+			}
+			if newLeft < targetLeft-tol || newLeft > targetLeft+tol {
+				continue
+			}
+			side[v] ^= 1
+			wLeft = newLeft
+			moved++
+		}
+		if moved == 0 {
+			break
+		}
+	}
+}
+
+// partitionMultilevel is the Method dispatch target for Multilevel.
+func partitionMultilevel(m *mesh.Mesh, p int, out []int32) error {
+	g, err := elementDualGraph(m)
+	if err != nil {
+		return err
+	}
+	verts := make([]int32, g.n())
+	for i := range verts {
+		verts[i] = int32(i)
+	}
+	multilevelPartition(g, verts, 0, p, out)
+	return nil
+}

@@ -1,0 +1,338 @@
+package partition
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mesh"
+	"repro/internal/octree"
+)
+
+// testMesh builds a modest graded mesh shared by the tests.
+func testMesh(t testing.TB) *mesh.Mesh {
+	t.Helper()
+	cfg := octree.Config{Origin: geom.V(0, 0, 0), CubeSize: 1, Nx: 2, Ny: 2, Nz: 1, MaxDepth: 4}
+	h := func(p geom.Vec3) float64 {
+		d := p.Dist(geom.V(1, 1, 0.5))
+		return math.Max(0.08, 0.3*d)
+	}
+	tr, err := octree.Build(cfg, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mesh.FromTree(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func mustPartition(t testing.TB, m *mesh.Mesh, p int, method Method) *Partition {
+	t.Helper()
+	pt, err := PartitionMesh(m, p, method, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pt
+}
+
+func mustAnalyze(t testing.TB, m *mesh.Mesh, pt *Partition) *Profile {
+	t.Helper()
+	pr, err := Analyze(m, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pr
+}
+
+func TestPartitionErrors(t *testing.T) {
+	m := testMesh(t)
+	if _, err := PartitionMesh(m, 0, RCB, 0); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, err := PartitionMesh(m, m.NumElems()+1, RCB, 0); err == nil {
+		t.Error("p > elements accepted")
+	}
+	if _, err := PartitionMesh(&mesh.Mesh{}, 2, RCB, 0); err == nil {
+		t.Error("empty mesh accepted")
+	}
+	if _, err := PartitionMesh(m, 2, Method(99), 0); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	for m, want := range map[Method]string{
+		RCB: "rcb", Inertial: "inertial", Random: "random",
+		Linear: "linear", StripesZ: "stripes-z", Method(42): "method(42)",
+	} {
+		if got := m.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(m), got, want)
+		}
+	}
+}
+
+func TestAllMethodsProduceValidBalancedPartitions(t *testing.T) {
+	m := testMesh(t)
+	for _, method := range []Method{RCB, Inertial, Random, Linear, StripesZ} {
+		for _, p := range []int{1, 2, 3, 4, 7, 8, 16} {
+			pt := mustPartition(t, m, p, method)
+			if err := pt.Validate(); err != nil {
+				t.Errorf("%v/p=%d: %v", method, p, err)
+				continue
+			}
+			sizes := pt.Sizes()
+			min, max := sizes[0], sizes[0]
+			for _, s := range sizes {
+				if s < min {
+					min = s
+				}
+				if s > max {
+					max = s
+				}
+			}
+			// Geometric and deterministic methods must balance element
+			// counts tightly; random is looser.
+			limit := 1.10
+			if method == Random {
+				limit = 1.6
+			}
+			if p > 1 && float64(max)/float64(min) > limit {
+				t.Errorf("%v/p=%d: element imbalance %d..%d", method, p, min, max)
+			}
+		}
+	}
+}
+
+func TestRCBDeterministic(t *testing.T) {
+	m := testMesh(t)
+	a := mustPartition(t, m, 8, RCB)
+	b := mustPartition(t, m, 8, RCB)
+	for e := range a.ElemPE {
+		if a.ElemPE[e] != b.ElemPE[e] {
+			t.Fatalf("element %d differs", e)
+		}
+	}
+}
+
+func TestRCBSpatialLocality(t *testing.T) {
+	// With p=2 on this symmetric domain, RCB should split roughly along
+	// a plane: the two subdomain centroids must be clearly separated.
+	m := testMesh(t)
+	pt := mustPartition(t, m, 2, RCB)
+	var c0, c1 geom.Vec3
+	var n0, n1 int
+	for e := 0; e < m.NumElems(); e++ {
+		if pt.ElemPE[e] == 0 {
+			c0 = c0.Add(m.Centroid(e))
+			n0++
+		} else {
+			c1 = c1.Add(m.Centroid(e))
+			n1++
+		}
+	}
+	c0 = c0.Scale(1 / float64(n0))
+	c1 = c1.Scale(1 / float64(n1))
+	if c0.Dist(c1) < 0.3 {
+		t.Errorf("RCB halves not spatially separated: centroids %v, %v", c0, c1)
+	}
+}
+
+func TestGeometricBeatsRandomOnCommunication(t *testing.T) {
+	m := testMesh(t)
+	for _, method := range []Method{RCB, Inertial} {
+		geo := mustAnalyze(t, m, mustPartition(t, m, 8, method))
+		rnd := mustAnalyze(t, m, mustPartition(t, m, 8, Random))
+		if geo.Cmax()*2 > rnd.Cmax() {
+			t.Errorf("%v C_max=%d not clearly better than random C_max=%d",
+				method, geo.Cmax(), rnd.Cmax())
+		}
+	}
+}
+
+func TestProfileInvariants(t *testing.T) {
+	m := testMesh(t)
+	for _, method := range []Method{RCB, Inertial, Random, Linear, StripesZ} {
+		for _, p := range []int{2, 4, 8, 13} {
+			pt := mustPartition(t, m, p, method)
+			pr := mustAnalyze(t, m, pt)
+			checkProfileInvariants(t, m, pr, method)
+		}
+	}
+}
+
+func checkProfileInvariants(t *testing.T, m *mesh.Mesh, pr *Profile, method Method) {
+	t.Helper()
+	// Message matrix symmetric with zero diagonal, since every message
+	// is matched by an equal-length reply.
+	for i := 0; i < pr.P; i++ {
+		if pr.Msg[i][i] != 0 {
+			t.Errorf("%v: self-message on PE %d", method, i)
+		}
+		for j := 0; j < pr.P; j++ {
+			if pr.Msg[i][j] != pr.Msg[j][i] {
+				t.Errorf("%v: asymmetric messages %d<->%d", method, i, j)
+			}
+			if pr.Msg[i][j]%WordsPerNode != 0 {
+				t.Errorf("%v: message not multiple of 3 words", method)
+			}
+		}
+	}
+	for i := 0; i < pr.P; i++ {
+		// C_i is even (sent+received) and divisible by 3 (DOF), so by 6.
+		if pr.C[i]%6 != 0 {
+			t.Errorf("%v: C[%d]=%d not divisible by 6", method, i, pr.C[i])
+		}
+		if pr.B[i]%2 != 0 {
+			t.Errorf("%v: B[%d]=%d odd", method, i, pr.B[i])
+		}
+	}
+	// Sum of F over PEs ≥ sequential flop count (replication only adds).
+	seq := int64(2 * 9 * (2*m.NumEdges() + m.NumNodes()))
+	var sumF int64
+	for _, f := range pr.F {
+		sumF += f
+	}
+	if sumF < seq {
+		t.Errorf("%v: ΣF = %d < sequential %d", method, sumF, seq)
+	}
+	if pr.P == 1 {
+		if sumF != seq {
+			t.Errorf("%v: single PE F = %d, want exactly %d", method, sumF, seq)
+		}
+		if pr.Cmax() != 0 || pr.Bmax() != 0 {
+			t.Errorf("%v: single PE communicates", method)
+		}
+	}
+	// β within its proven range [1, 2].
+	if b := pr.Beta(); b < 1 || b > 2 {
+		t.Errorf("%v: β = %g outside [1,2]", method, b)
+	}
+	// Bisection volume cannot exceed total volume.
+	if pr.BisectionWords() > pr.TotalWords() {
+		t.Errorf("%v: bisection words %d > total %d", method, pr.BisectionWords(), pr.TotalWords())
+	}
+	// B_max consistent with neighbor count.
+	if got, want := pr.Bmax(), int64(2*pr.MaxNeighbors()); got != want && pr.P > 1 {
+		// Bmax is attained by some PE; MaxNeighbors is the max partner
+		// count, and B_i = 2 * partners(i), so the maxima coincide.
+		t.Errorf("%v: Bmax = %d, 2*MaxNeighbors = %d", method, got, want)
+	}
+	// Resident node lists: every node resides somewhere; shared count
+	// consistent with NodePEs.
+	shared := 0
+	for i, lst := range pr.NodePEs {
+		if len(lst) == 0 {
+			t.Fatalf("%v: node %d resides nowhere", method, i)
+		}
+		if len(lst) > 1 {
+			shared++
+		}
+	}
+	if shared != pr.SharedNodes {
+		t.Errorf("%v: SharedNodes = %d, counted %d", method, pr.SharedNodes, shared)
+	}
+	// C equals 6 words per shared-pair incidence: cross-check against
+	// NodePEs directly.
+	wantC := make([]int64, pr.P)
+	for _, lst := range pr.NodePEs {
+		for a := 0; a < len(lst); a++ {
+			for b := 0; b < len(lst); b++ {
+				if a != b {
+					wantC[lst[a]] += 2 * WordsPerNode
+				}
+			}
+		}
+	}
+	for i := 0; i < pr.P; i++ {
+		if pr.C[i] != wantC[i] {
+			t.Errorf("%v: C[%d] = %d, want %d", method, i, pr.C[i], wantC[i])
+		}
+	}
+}
+
+func TestAnalyzeRejectsMismatch(t *testing.T) {
+	m := testMesh(t)
+	pt := &Partition{P: 2, ElemPE: make([]int32, 3)}
+	if _, err := Analyze(m, pt); err == nil {
+		t.Error("mismatched partition accepted")
+	}
+	bad := mustPartition(t, m, 4, RCB)
+	bad.ElemPE[0] = 99
+	if _, err := Analyze(m, bad); err == nil {
+		t.Error("invalid PE id accepted")
+	}
+}
+
+func TestMavgAndRatios(t *testing.T) {
+	m := testMesh(t)
+	pr := mustAnalyze(t, m, mustPartition(t, m, 8, RCB))
+	if pr.Mavg() <= 0 {
+		t.Errorf("Mavg = %g", pr.Mavg())
+	}
+	if pr.CompCommRatio() <= 0 {
+		t.Errorf("F/Cmax = %g", pr.CompCommRatio())
+	}
+	if pr.LoadImbalance() < 1 {
+		t.Errorf("load imbalance %g < 1", pr.LoadImbalance())
+	}
+	single := mustAnalyze(t, m, mustPartition(t, m, 1, RCB))
+	if !math.IsInf(single.CompCommRatio(), 1) {
+		t.Errorf("single PE ratio = %g, want +Inf", single.CompCommRatio())
+	}
+	if single.Mavg() != 0 {
+		t.Errorf("single PE Mavg = %g", single.Mavg())
+	}
+	if single.Beta() != 1 {
+		t.Errorf("single PE beta = %g", single.Beta())
+	}
+}
+
+// The surface-to-volume law: quadrupling PE count for a fixed mesh must
+// increase C_max only modestly while F drops ~4x, so F/C_max falls.
+func TestCompCommRatioFallsWithMorePEs(t *testing.T) {
+	m := testMesh(t)
+	r4 := mustAnalyze(t, m, mustPartition(t, m, 4, RCB)).CompCommRatio()
+	r16 := mustAnalyze(t, m, mustPartition(t, m, 16, RCB)).CompCommRatio()
+	if r16 >= r4 {
+		t.Errorf("F/Cmax did not fall: p=4 %g, p=16 %g", r4, r16)
+	}
+}
+
+func TestDistributionOf(t *testing.T) {
+	d := DistributionOf([]int64{10, 2, 8, 4, 6})
+	if d.Min != 2 || d.Max != 10 || d.Median != 6 || d.Mean != 6 {
+		t.Errorf("distribution = %+v", d)
+	}
+	if d.P90 != 10 {
+		t.Errorf("P90 = %d", d.P90)
+	}
+	empty := DistributionOf(nil)
+	if empty != (Distribution{}) {
+		t.Errorf("empty distribution = %+v", empty)
+	}
+}
+
+func TestProfileDistributions(t *testing.T) {
+	m := testMesh(t)
+	pr := mustAnalyze(t, m, mustPartition(t, m, 8, RCB))
+	for name, d := range map[string]Distribution{
+		"C": pr.CDistribution(),
+		"B": pr.BDistribution(),
+		"F": pr.FDistribution(),
+	} {
+		if d.Min > d.Median || d.Median > d.P90 || d.P90 > d.Max {
+			t.Errorf("%s distribution not ordered: %+v", name, d)
+		}
+		if d.Mean <= 0 || float64(d.Max) < d.Mean {
+			t.Errorf("%s mean out of range: %+v", name, d)
+		}
+	}
+	if got := pr.CDistribution().Max; got != pr.Cmax() {
+		t.Errorf("C max %d != Cmax %d", got, pr.Cmax())
+	}
+	if got := pr.BDistribution().Max; got != pr.Bmax() {
+		t.Errorf("B max %d != Bmax %d", got, pr.Bmax())
+	}
+}

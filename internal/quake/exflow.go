@@ -1,0 +1,109 @@
+package quake
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/mesh"
+	"repro/internal/octree"
+)
+
+// The paper's introduction compares the Quake profile against EXFLOW, a
+// 3D unstructured finite element fluid dynamics code from Cypher et
+// al. We cannot rebuild EXFLOW, but we can build a mesh with its
+// character: refinement concentrated around an embedded lifting surface
+// (a swept wing) inside a large far-field box, the classic external
+// aerodynamics grading. XFlowScenario meshes that geometry so the
+// EXFLOW comparison can run against a genuinely different unstructured
+// workload rather than against another Quake instance.
+
+// XFlowConfig describes the synthetic external-flow mesh.
+type XFlowConfig struct {
+	// Domain is the far-field box edge (km — units are arbitrary here).
+	Domain float64
+	// WingSpan and WingChord set the embedded surface's extent.
+	WingSpan, WingChord float64
+	// NearSize and FarSize are the element sizes at the wing and at the
+	// far field.
+	NearSize, FarSize float64
+	MaxDepth          int
+}
+
+// DefaultXFlow returns a configuration producing a mesh of roughly the
+// size of EXFLOW's (the paper reports it ran on 512 PEs with ~2 MB per
+// PE; we target the same order as sf5 so default benchmarks stay fast).
+func DefaultXFlow() XFlowConfig {
+	return XFlowConfig{
+		Domain:   40,
+		WingSpan: 16, WingChord: 4,
+		NearSize: 0.35, FarSize: 8,
+		MaxDepth: 7,
+	}
+}
+
+// wingDistance returns the distance from p to the swept-wing segment
+// set: a thin surface at mid-height spanning y, swept in x.
+func (c XFlowConfig) wingDistance(p geom.Vec3) float64 {
+	mid := c.Domain / 2
+	// Wing occupies y ∈ [mid−span/2, mid+span/2], x ∈ [x0(y), x0(y)+chord],
+	// z = mid, with 30° sweep: x0(y) = mid + |y−mid|·tan30 − chord/2.
+	spanDy := math.Abs(p.Y - mid)
+	dy := 0.0
+	if spanDy > c.WingSpan/2 {
+		dy = spanDy - c.WingSpan/2 // beyond the tip
+		spanDy = c.WingSpan / 2
+	}
+	// 30° sweep: the chord shifts aft with span position.
+	x0 := mid + spanDy*0.577 - c.WingChord/2
+	var dx float64
+	switch {
+	case p.X < x0:
+		dx = x0 - p.X
+	case p.X > x0+c.WingChord:
+		dx = p.X - (x0 + c.WingChord)
+	}
+	dz := math.Abs(p.Z - mid)
+	return math.Sqrt(dx*dx + dy*dy + dz*dz)
+}
+
+// Sizing returns the graded sizing function: NearSize at the wing,
+// growing linearly with distance up to FarSize.
+func (c XFlowConfig) Sizing() octree.Sizing {
+	return func(p geom.Vec3) float64 {
+		d := c.wingDistance(p)
+		h := c.NearSize + 0.45*d
+		if h > c.FarSize {
+			h = c.FarSize
+		}
+		return h
+	}
+}
+
+var xflowOnce sync.Once
+var xflowMesh *mesh.Mesh
+var xflowErr error
+
+// XFlowMesh builds (once per process) the default external-flow mesh.
+func XFlowMesh() (*mesh.Mesh, error) {
+	xflowOnce.Do(func() {
+		c := DefaultXFlow()
+		n := int(c.Domain / 10)
+		if n < 1 {
+			n = 1
+		}
+		cfg := octree.Config{
+			Origin:   geom.V(0, 0, 0),
+			CubeSize: c.Domain / float64(n),
+			Nx:       n, Ny: n, Nz: n,
+			MaxDepth: c.MaxDepth,
+		}
+		tr, err := octree.Build(cfg, c.Sizing())
+		if err != nil {
+			xflowErr = err
+			return
+		}
+		xflowMesh, xflowErr = mesh.FromTree(tr)
+	})
+	return xflowMesh, xflowErr
+}

@@ -1,0 +1,80 @@
+package quake
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/partition"
+)
+
+func TestXFlowMesh(t *testing.T) {
+	m, err := XFlowMesh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := m.ComputeStats()
+	if st.Nodes < 5000 {
+		t.Fatalf("xflow mesh too small: %d nodes", st.Nodes)
+	}
+	if st.AvgDegree < 9 || st.AvgDegree > 17 {
+		t.Errorf("avg degree %.1f out of unstructured range", st.AvgDegree)
+	}
+	// Refinement concentrates at the wing: the smallest elements are
+	// near the domain center, the largest in the far field.
+	c := DefaultXFlow()
+	sizing := c.Sizing()
+	near := sizing(geom.V(c.Domain/2, c.Domain/2, c.Domain/2))
+	far := sizing(geom.V(0.5, 0.5, 0.5))
+	if near >= far {
+		t.Errorf("sizing not graded: near %g, far %g", near, far)
+	}
+	if near != c.NearSize {
+		t.Errorf("near sizing = %g, want %g", near, c.NearSize)
+	}
+}
+
+func TestXFlowProfileCharacter(t *testing.T) {
+	m, err := XFlowMesh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := partition.PartitionMesh(m, 32, partition.RCB, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := partition.Analyze(m, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The external-flow workload shares the Quake communication
+	// character: β near one, small average messages, many neighbors.
+	if b := pr.Beta(); b < 1 || b > 2 {
+		t.Errorf("beta = %g", b)
+	}
+	if pr.Mavg() <= 0 || pr.Mavg() > 5000 {
+		t.Errorf("M_avg = %g words", pr.Mavg())
+	}
+	if pr.MaxNeighbors() < 4 {
+		t.Errorf("max neighbors = %d, expected a well-connected partition", pr.MaxNeighbors())
+	}
+}
+
+func TestWingDistance(t *testing.T) {
+	c := DefaultXFlow()
+	mid := c.Domain / 2
+	// On the wing root chord: distance zero.
+	if d := c.wingDistance(geom.V(mid, mid, mid)); d != 0 {
+		t.Errorf("on-wing distance = %g", d)
+	}
+	// Directly above the wing: distance = height offset.
+	if d := c.wingDistance(geom.V(mid, mid, mid+3)); d != 3 {
+		t.Errorf("above-wing distance = %g", d)
+	}
+	// Far corner: large.
+	if d := c.wingDistance(geom.V(0, 0, 0)); d < 10 {
+		t.Errorf("far distance = %g", d)
+	}
+}

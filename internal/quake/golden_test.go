@@ -1,0 +1,78 @@
+package quake
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/partition"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenFig7SF10 pins the entire pipeline end to end: octree →
+// mesh → RCB partition → analysis must reproduce the committed sf10
+// Figure 7 table byte for byte. Everything upstream is deterministic,
+// so any diff means behavior changed; regenerate deliberately with
+// `go test ./internal/quake -run Golden -update`.
+func TestGoldenFig7SF10(t *testing.T) {
+	tab, err := Fig7Table([]Scenario{SF10}, []int{4, 16, 64}, partition.RCB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	path := filepath.Join("testdata", "fig7_sf10.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("fig7 sf10 output changed.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestGoldenBetaSF10 pins the β table the same way.
+func TestGoldenBetaSF10(t *testing.T) {
+	tab, err := Fig6Table([]Scenario{SF10}, []int{4, 16, 64}, partition.RCB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	path := filepath.Join("testdata", "fig6_sf10.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("fig6 sf10 output changed.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

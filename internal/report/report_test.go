@@ -1,0 +1,140 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := New("Title", "a", "bbbb", "c")
+	tab.AddRow("1", "2", "3")
+	tab.AddRow("10", "20") // short row padded
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Title" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "a ") || !strings.Contains(lines[1], "bbbb") {
+		t.Errorf("header line = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "---") {
+		t.Errorf("separator = %q", lines[2])
+	}
+	if len(lines) != 5 {
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+	// Columns aligned: '2' and '20' start at the same offset.
+	if strings.Index(lines[3], "2") != strings.Index(lines[4], "20") {
+		t.Errorf("columns unaligned:\n%s", out)
+	}
+}
+
+func TestTableRenderNoTitle(t *testing.T) {
+	tab := New("", "x")
+	tab.AddRow("1")
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasPrefix(sb.String(), "\n") {
+		t.Error("leading newline with empty title")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tab := New("t", "a", "b")
+	tab.AddRow("1", "x,y")
+	tab.AddRow("2", `say "hi"`)
+	var sb strings.Builder
+	if err := tab.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if lines[0] != "a,b" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != `1,"x,y"` {
+		t.Errorf("quoted cell = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], `\"hi\"`) {
+		t.Errorf("escaped quotes = %q", lines[2])
+	}
+}
+
+func TestInt(t *testing.T) {
+	cases := map[int64]string{
+		0:          "0",
+		999:        "999",
+		1000:       "1,000",
+		24640110:   "24,640,110",
+		-162372024: "-162,372,024",
+	}
+	for v, want := range cases {
+		if got := Int(v); got != want {
+			t.Errorf("Int(%d) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestF(t *testing.T) {
+	if got := F(3.14159, 2); got != "3.14" {
+		t.Errorf("F = %q", got)
+	}
+	if got := F(2, 0); got != "2" {
+		t.Errorf("F = %q", got)
+	}
+}
+
+func TestSI(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0 s"},
+		{22e-6, "22 µs"},
+		{5e-9, "5 ns"},
+		{1.5e-3, "1.5 ms"},
+		{3, "3 s"},
+		{2.5e3, "2.5 Ks"},
+		{6e8, "600 Ms"},
+		{2e9, "2 Gs"},
+		{3e-10, "0.3 ns"},
+	}
+	for _, c := range cases {
+		if got := SI(c.v, "s"); got != c.want {
+			t.Errorf("SI(%g) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tab := New("My Table", "a", "b")
+	tab.AddRow("1", "x|y")
+	var sb strings.Builder
+	if err := tab.Markdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"**My Table**",
+		"| a | b |",
+		"|---|---|",
+		`| 1 | x\|y |`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+	// No caption line for untitled tables.
+	var sb2 strings.Builder
+	if err := New("", "x").Markdown(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb2.String(), "**") {
+		t.Error("unexpected caption")
+	}
+}

@@ -1,0 +1,192 @@
+// Package solver provides a preconditioned conjugate gradient solver
+// built on the SMVP kernel. The Quake applications use explicit time
+// stepping precisely so that the SMVP is the *only* parallel operation;
+// implicit methods solve a linear system each step with CG, which adds
+// global dot products (allreduce communication) to the profile. This
+// package supplies the solver itself and, together with
+// model.AllReduce, lets the harness quantify what the paper's explicit
+// choice avoids.
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sparse"
+)
+
+// Operator is a square linear operator on block vectors (length 3·N
+// scalars for N block rows).
+type Operator interface {
+	// Apply computes y = A·x. y and x must not alias.
+	Apply(y, x []float64)
+	// Dim returns the scalar dimension of the operator.
+	Dim() int
+}
+
+// BCSROperator adapts a BCSR matrix to the Operator interface.
+type BCSROperator struct{ M *sparse.BCSR }
+
+// Apply implements Operator.
+func (o BCSROperator) Apply(y, x []float64) { o.M.MulVec(y, x) }
+
+// Dim implements Operator.
+func (o BCSROperator) Dim() int { return 3 * o.M.N }
+
+// Shifted is the operator A = K + σ·diag(M): the stiffness matrix plus
+// a scaled lumped-mass diagonal. K alone is positive semidefinite (it
+// annihilates rigid-body modes); any σ > 0 makes the operator strictly
+// positive definite, which CG requires. Physically this is the
+// frequency-domain (Helmholtz-like) or backward-Euler system matrix.
+type Shifted struct {
+	K *sparse.BCSR
+	// MassNode holds one lumped mass per block row, applied to all
+	// three of the row's degrees of freedom.
+	MassNode []float64
+	Sigma    float64
+}
+
+// Apply implements Operator.
+func (s Shifted) Apply(y, x []float64) {
+	s.K.MulVec(y, x)
+	for i, m := range s.MassNode {
+		f := s.Sigma * m
+		y[3*i] += f * x[3*i]
+		y[3*i+1] += f * x[3*i+1]
+		y[3*i+2] += f * x[3*i+2]
+	}
+}
+
+// Dim implements Operator.
+func (s Shifted) Dim() int { return 3 * s.K.N }
+
+// Diagonal returns the scalar diagonal of the operator, used to build
+// the Jacobi preconditioner.
+func (s Shifted) Diagonal() []float64 {
+	d := make([]float64, s.Dim())
+	for i := 0; i < s.K.N; i++ {
+		blk := s.K.Block(int32(i), int32(i))
+		d[3*i] = blk[0] + s.Sigma*s.MassNode[i]
+		d[3*i+1] = blk[4] + s.Sigma*s.MassNode[i]
+		d[3*i+2] = blk[8] + s.Sigma*s.MassNode[i]
+	}
+	return d
+}
+
+// Result reports a CG solve.
+type Result struct {
+	Iterations int
+	Residual   float64 // final ‖b − Ax‖₂ / ‖b‖₂
+	Converged  bool
+	// SMVPs is the number of operator applications (one per iteration
+	// plus one for the initial residual) — the communicating operation
+	// count an implicit method would execute.
+	SMVPs int
+	// DotProducts is the number of global dot products performed — each
+	// is an allreduce on a parallel machine.
+	DotProducts int
+}
+
+// Config controls the CG iteration.
+type Config struct {
+	MaxIter int
+	Tol     float64 // relative residual target
+	// Precondition, when non-nil, is the inverse-diagonal (Jacobi)
+	// preconditioner: z = Precondition ⊙ r.
+	Precondition []float64
+}
+
+// CG solves A·x = b by (optionally Jacobi-preconditioned) conjugate
+// gradients, overwriting x with the solution (x's initial content is
+// the starting guess).
+func CG(a Operator, b, x []float64, cfg Config) (*Result, error) {
+	n := a.Dim()
+	if len(b) != n || len(x) != n {
+		return nil, fmt.Errorf("solver: dimension mismatch: A %d, b %d, x %d", n, len(b), len(x))
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = n
+	}
+	if cfg.Tol <= 0 {
+		cfg.Tol = 1e-8
+	}
+	if cfg.Precondition != nil && len(cfg.Precondition) != n {
+		return nil, fmt.Errorf("solver: preconditioner length %d, want %d", len(cfg.Precondition), n)
+	}
+
+	res := &Result{}
+	r := make([]float64, n)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+
+	a.Apply(ap, x)
+	res.SMVPs++
+	for i := range r {
+		r[i] = b[i] - ap[i]
+	}
+	normB := norm2(b)
+	res.DotProducts++
+	if normB == 0 {
+		for i := range x {
+			x[i] = 0
+		}
+		res.Converged = true
+		return res, nil
+	}
+	applyPrec := func(dst, src []float64) {
+		if cfg.Precondition == nil {
+			copy(dst, src)
+			return
+		}
+		for i := range src {
+			dst[i] = cfg.Precondition[i] * src[i]
+		}
+	}
+	applyPrec(z, r)
+	copy(p, z)
+	rz := dot(r, z)
+	res.DotProducts++
+
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		res.Iterations = iter + 1
+		a.Apply(ap, p)
+		res.SMVPs++
+		pap := dot(p, ap)
+		res.DotProducts++
+		if pap <= 0 {
+			return res, fmt.Errorf("solver: operator not positive definite (pᵀAp = %g at iteration %d)", pap, iter)
+		}
+		alpha := rz / pap
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		rn := norm2(r)
+		res.DotProducts++
+		res.Residual = rn / normB
+		if res.Residual <= cfg.Tol {
+			res.Converged = true
+			return res, nil
+		}
+		applyPrec(z, r)
+		rzNew := dot(r, z)
+		res.DotProducts++
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return res, nil
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func norm2(a []float64) float64 { return math.Sqrt(dot(a, a)) }

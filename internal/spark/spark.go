@@ -1,0 +1,281 @@
+// Package spark reimplements the Spark98 kernel suite that the paper's
+// postscript points to: a family of sequential and parallel SMVP
+// kernels over the San Fernando meshes, designed to expose how storage
+// format and parallelization strategy change the character of the same
+// computation. (D. O'Hallaron, "Spark98: Sparse matrix kernels for
+// shared memory and message passing systems", CMU-CS-97-178.)
+//
+// The suite's kernels, translated to this library's substrate:
+//
+//	smv   — sequential SMVP, scalar CSR storage
+//	bmv   — sequential SMVP, 3×3-block BCSR storage
+//	smvsym— sequential SMVP, symmetric upper-triangle block storage
+//	lmv   — "local" SMVP: partitioned matrices multiplied one
+//	        subdomain at a time in one thread (models one PE's work)
+//	mmv   — message-passing parallel SMVP (package par's runtime)
+//	smvth — shared-memory parallel SMVP, row-partitioned, no locks
+//	rmv   — shared-memory parallel symmetric SMVP with per-thread
+//	        replicated accumulators and a reduction (Spark98's rmv)
+//	lockmv— shared-memory parallel symmetric SMVP with per-node locks
+//	        (Spark98's hmv-style contended variant)
+//
+// All kernels compute the same y = K·x and are cross-validated in the
+// tests; the benchmarks compare their throughput the way the Spark98
+// report does.
+package spark
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/sparse"
+)
+
+// Kernel names, for harnesses and reports.
+const (
+	KernelSMV    = "smv"
+	KernelBMV    = "bmv"
+	KernelSMVSym = "smvsym"
+	KernelLMV    = "lmv"
+	KernelSMVTh  = "smvth"
+	KernelRMV    = "rmv"
+	KernelLockMV = "lockmv"
+)
+
+// Suite bundles the storage variants of one stiffness matrix so the
+// kernels can run side by side.
+type Suite struct {
+	N   int // block rows
+	B   *sparse.BCSR
+	CSR *sparse.CSR
+	Sym *sparse.SymBCSR
+	// Locals are the per-subdomain matrices and node lists for lmv;
+	// optional (nil when the suite was built without a partition).
+	Locals     []*sparse.BCSR
+	LocalNodes [][]int32
+}
+
+// NewSuite builds the storage variants from a block-symmetric BCSR.
+func NewSuite(k *sparse.BCSR) (*Suite, error) {
+	sym, err := sparse.NewSymFromBCSR(k)
+	if err != nil {
+		return nil, fmt.Errorf("spark: %w", err)
+	}
+	return &Suite{N: k.N, B: k, CSR: k.ToCSR(), Sym: sym}, nil
+}
+
+// WithLocals attaches per-subdomain local matrices (see par.Dist) for
+// the lmv kernel. locals[i] is the local matrix of subdomain i over the
+// global nodes nodes[i].
+func (s *Suite) WithLocals(locals []*sparse.BCSR, nodes [][]int32) error {
+	if len(locals) != len(nodes) {
+		return fmt.Errorf("spark: %d locals but %d node lists", len(locals), len(nodes))
+	}
+	for i := range locals {
+		if locals[i].N != len(nodes[i]) {
+			return fmt.Errorf("spark: local %d has %d rows, %d nodes", i, locals[i].N, len(nodes[i]))
+		}
+	}
+	s.Locals = locals
+	s.LocalNodes = nodes
+	return nil
+}
+
+// SMV runs the scalar-CSR sequential kernel.
+func (s *Suite) SMV(y, x []float64) { s.CSR.MulVec(y, x) }
+
+// BMV runs the block-CSR sequential kernel.
+func (s *Suite) BMV(y, x []float64) { s.B.MulVec(y, x) }
+
+// SMVSym runs the symmetric-storage sequential kernel.
+func (s *Suite) SMVSym(y, x []float64) { s.Sym.MulVec(y, x) }
+
+// LMV runs the partitioned kernel sequentially: each subdomain's local
+// matrix is applied to its local slice of x, and the partial results
+// are summed into global y. Requires WithLocals.
+func (s *Suite) LMV(y, x []float64) error {
+	if s.Locals == nil {
+		return fmt.Errorf("spark: lmv requires local matrices")
+	}
+	for i := range y {
+		y[i] = 0
+	}
+	for d, k := range s.Locals {
+		nodes := s.LocalNodes[d]
+		xl := make([]float64, 3*len(nodes))
+		yl := make([]float64, 3*len(nodes))
+		for l, g := range nodes {
+			copy(xl[3*l:3*l+3], x[3*g:3*g+3])
+		}
+		k.MulVec(yl, xl)
+		for l, g := range nodes {
+			y[3*g] += yl[3*l]
+			y[3*g+1] += yl[3*l+1]
+			y[3*g+2] += yl[3*l+2]
+		}
+	}
+	return nil
+}
+
+// SMVTh runs the shared-memory parallel kernel: block rows are divided
+// into contiguous ranges, one goroutine per range. With unsymmetric
+// storage each row's result is written by exactly one goroutine, so no
+// synchronization beyond the final join is needed — this is Spark98's
+// natural shared-memory kernel.
+func (s *Suite) SMVTh(y, x []float64, threads int) {
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	if threads > s.N {
+		threads = s.N
+	}
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for t := 0; t < threads; t++ {
+		lo := s.N * t / threads
+		hi := s.N * (t + 1) / threads
+		go func(lo, hi int) {
+			defer wg.Done()
+			a := s.B
+			for i := lo; i < hi; i++ {
+				var s0, s1, s2 float64
+				for k := a.RowOff[i]; k < a.RowOff[i+1]; k++ {
+					j := int(a.Col[k]) * 3
+					v := a.Val[9*k : 9*k+9 : 9*k+9]
+					x0, x1, x2 := x[j], x[j+1], x[j+2]
+					s0 += v[0]*x0 + v[1]*x1 + v[2]*x2
+					s1 += v[3]*x0 + v[4]*x1 + v[5]*x2
+					s2 += v[6]*x0 + v[7]*x1 + v[8]*x2
+				}
+				y[3*i] = s0
+				y[3*i+1] = s1
+				y[3*i+2] = s2
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// RMV runs the replicated-accumulator parallel symmetric kernel:
+// symmetric storage halves matrix traffic but makes two goroutines
+// want to update the same y entry, so each goroutine accumulates into
+// a private copy of y and a parallel reduction sums the copies. This
+// is the strategy Spark98 calls rmv.
+func (s *Suite) RMV(y, x []float64, threads int) {
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	if threads > s.N {
+		threads = s.N
+	}
+	n3 := 3 * s.N
+	priv := make([][]float64, threads)
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for t := 0; t < threads; t++ {
+		lo := s.N * t / threads
+		hi := s.N * (t + 1) / threads
+		go func(t, lo, hi int) {
+			defer wg.Done()
+			yp := make([]float64, n3)
+			sym := s.Sym
+			for i := lo; i < hi; i++ {
+				d := sym.Diag[9*i : 9*i+9 : 9*i+9]
+				xi0, xi1, xi2 := x[3*i], x[3*i+1], x[3*i+2]
+				ai0 := d[0]*xi0 + d[1]*xi1 + d[2]*xi2
+				ai1 := d[3]*xi0 + d[4]*xi1 + d[5]*xi2
+				ai2 := d[6]*xi0 + d[7]*xi1 + d[8]*xi2
+				for k := sym.RowOff[i]; k < sym.RowOff[i+1]; k++ {
+					j := int(sym.Col[k]) * 3
+					v := sym.Val[9*k : 9*k+9 : 9*k+9]
+					xj0, xj1, xj2 := x[j], x[j+1], x[j+2]
+					ai0 += v[0]*xj0 + v[1]*xj1 + v[2]*xj2
+					ai1 += v[3]*xj0 + v[4]*xj1 + v[5]*xj2
+					ai2 += v[6]*xj0 + v[7]*xj1 + v[8]*xj2
+					yp[j] += v[0]*xi0 + v[3]*xi1 + v[6]*xi2
+					yp[j+1] += v[1]*xi0 + v[4]*xi1 + v[7]*xi2
+					yp[j+2] += v[2]*xi0 + v[5]*xi1 + v[8]*xi2
+				}
+				yp[3*i] += ai0
+				yp[3*i+1] += ai1
+				yp[3*i+2] += ai2
+			}
+			priv[t] = yp
+		}(t, lo, hi)
+	}
+	wg.Wait()
+	// Parallel reduction over disjoint ranges of y.
+	wg.Add(threads)
+	for t := 0; t < threads; t++ {
+		lo := n3 * t / threads
+		hi := n3 * (t + 1) / threads
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				var sum float64
+				for _, yp := range priv {
+					sum += yp[i]
+				}
+				y[i] = sum
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// LockMV runs the lock-based parallel symmetric kernel: like RMV but
+// updating the shared y directly under striped mutexes. It exists to
+// measure what Spark98 measured — that fine-grained locking is the
+// losing strategy for this access pattern.
+func (s *Suite) LockMV(y, x []float64, threads int) {
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	if threads > s.N {
+		threads = s.N
+	}
+	const stripes = 1024
+	var locks [stripes]sync.Mutex
+	for i := range y {
+		y[i] = 0
+	}
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for t := 0; t < threads; t++ {
+		lo := s.N * t / threads
+		hi := s.N * (t + 1) / threads
+		go func(lo, hi int) {
+			defer wg.Done()
+			sym := s.Sym
+			for i := lo; i < hi; i++ {
+				d := sym.Diag[9*i : 9*i+9 : 9*i+9]
+				xi0, xi1, xi2 := x[3*i], x[3*i+1], x[3*i+2]
+				ai0 := d[0]*xi0 + d[1]*xi1 + d[2]*xi2
+				ai1 := d[3]*xi0 + d[4]*xi1 + d[5]*xi2
+				ai2 := d[6]*xi0 + d[7]*xi1 + d[8]*xi2
+				for k := sym.RowOff[i]; k < sym.RowOff[i+1]; k++ {
+					j := int(sym.Col[k])
+					v := sym.Val[9*k : 9*k+9 : 9*k+9]
+					xj0, xj1, xj2 := x[3*j], x[3*j+1], x[3*j+2]
+					ai0 += v[0]*xj0 + v[1]*xj1 + v[2]*xj2
+					ai1 += v[3]*xj0 + v[4]*xj1 + v[5]*xj2
+					ai2 += v[6]*xj0 + v[7]*xj1 + v[8]*xj2
+					m := &locks[j%stripes]
+					m.Lock()
+					y[3*j] += v[0]*xi0 + v[3]*xi1 + v[6]*xi2
+					y[3*j+1] += v[1]*xi0 + v[4]*xi1 + v[7]*xi2
+					y[3*j+2] += v[2]*xi0 + v[5]*xi1 + v[8]*xi2
+					m.Unlock()
+				}
+				m := &locks[i%stripes]
+				m.Lock()
+				y[3*i] += ai0
+				y[3*i+1] += ai1
+				y[3*i+2] += ai2
+				m.Unlock()
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,230 @@
+package spark
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fem"
+	"repro/internal/geom"
+	"repro/internal/material"
+	"repro/internal/mesh"
+	"repro/internal/octree"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+)
+
+// buildSuite assembles a small stiffness matrix and wraps it in a
+// Suite, with locals from a 4-way RCB partition.
+func buildSuite(t testing.TB) (*Suite, *mesh.Mesh) {
+	t.Helper()
+	cfg := octree.Config{Origin: geom.V(0, 0, 0), CubeSize: 1, Nx: 2, Ny: 1, Nz: 1, MaxDepth: 3}
+	h := func(p geom.Vec3) float64 { return math.Max(0.15, 0.4*p.Dist(geom.V(0.5, 0.5, 0.5))) }
+	tr, err := octree.Build(cfg, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mesh.FromTree(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat := material.SanFernando()
+	mat.BasinCenter = geom.V(0.5, 0.5, 0)
+	mat.BasinSemi = geom.V(0.5, 0.4, 0.4)
+	sys, err := fem.Assemble(m, mat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSuite(sys.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attach locals for lmv: extract residency-based submatrices scaled
+	// so the subdomain sum reproduces the global matrix. We reuse the
+	// element-assembly approach: assemble per-subdomain matrices from
+	// element stiffness like par does, but inline to keep the test
+	// self-contained.
+	pt, err := partition.PartitionMesh(m, 4, partition.RCB, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := partition.Analyze(m, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locals, nodes := assembleLocals(t, m, mat, pt, pr)
+	if err := s.WithLocals(locals, nodes); err != nil {
+		t.Fatal(err)
+	}
+	return s, m
+}
+
+func assembleLocals(t testing.TB, m *mesh.Mesh, mat *material.Model, pt *partition.Partition, pr *partition.Profile) ([]*sparse.BCSR, [][]int32) {
+	t.Helper()
+	p := pt.P
+	g2l := make([]map[int32]int32, p)
+	for i := 0; i < p; i++ {
+		g2l[i] = make(map[int32]int32)
+		for l, g := range pr.NodesOnPE[i] {
+			g2l[i][g] = int32(l)
+		}
+	}
+	edgesSeen := make([]map[[2]int32]bool, p)
+	edges := make([][][2]int32, p)
+	for i := range edgesSeen {
+		edgesSeen[i] = make(map[[2]int32]bool)
+	}
+	for e, tet := range m.Tets {
+		pe := pt.ElemPE[e]
+		for a := 0; a < 4; a++ {
+			for b := a + 1; b < 4; b++ {
+				la, lb := g2l[pe][tet[a]], g2l[pe][tet[b]]
+				if la > lb {
+					la, lb = lb, la
+				}
+				key := [2]int32{la, lb}
+				if !edgesSeen[pe][key] {
+					edgesSeen[pe][key] = true
+					edges[pe] = append(edges[pe], key)
+				}
+			}
+		}
+	}
+	locals := make([]*sparse.BCSR, p)
+	for i := 0; i < p; i++ {
+		locals[i] = sparse.NewBCSRStructure(len(pr.NodesOnPE[i]), edges[i])
+	}
+	for e, tet := range m.Tets {
+		pe := pt.ElemPE[e]
+		var v [4]geom.Vec3
+		for a := 0; a < 4; a++ {
+			v[a] = m.Coords[tet[a]]
+		}
+		lambda, mu, _ := mat.Elastic(m.Centroid(e))
+		blocks, _, ok := fem.ElementStiffness(v, lambda, mu)
+		if !ok {
+			t.Fatal("degenerate element")
+		}
+		for a := 0; a < 4; a++ {
+			for b := 0; b < 4; b++ {
+				locals[pe].AddBlock(g2l[pe][tet[a]], g2l[pe][tet[b]], &blocks[a][b])
+			}
+		}
+	}
+	return locals, pr.NodesOnPE
+}
+
+func TestAllKernelsAgree(t *testing.T) {
+	s, m := buildSuite(t)
+	n3 := 3 * m.NumNodes()
+	rng := rand.New(rand.NewSource(17))
+	x := make([]float64, n3)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	ref := make([]float64, n3)
+	s.BMV(ref, x)
+
+	check := func(name string, y []float64) {
+		t.Helper()
+		for i := range ref {
+			if math.Abs(y[i]-ref[i]) > 1e-9*(1+math.Abs(ref[i])) {
+				t.Fatalf("%s: y[%d] = %g, want %g", name, i, y[i], ref[i])
+			}
+		}
+	}
+
+	y := make([]float64, n3)
+	s.SMV(y, x)
+	check(KernelSMV, y)
+
+	y = make([]float64, n3)
+	s.SMVSym(y, x)
+	check(KernelSMVSym, y)
+
+	y = make([]float64, n3)
+	if err := s.LMV(y, x); err != nil {
+		t.Fatal(err)
+	}
+	check(KernelLMV, y)
+
+	for _, threads := range []int{1, 2, 4, 7} {
+		y = make([]float64, n3)
+		s.SMVTh(y, x, threads)
+		check(KernelSMVTh, y)
+
+		y = make([]float64, n3)
+		s.RMV(y, x, threads)
+		check(KernelRMV, y)
+
+		y = make([]float64, n3)
+		s.LockMV(y, x, threads)
+		check(KernelLockMV, y)
+	}
+}
+
+func TestLMVRequiresLocals(t *testing.T) {
+	s := &Suite{N: 2}
+	if err := s.LMV(nil, nil); err == nil {
+		t.Error("lmv without locals accepted")
+	}
+}
+
+func TestWithLocalsValidation(t *testing.T) {
+	s, _ := buildSuite(t)
+	if err := s.WithLocals(s.Locals, s.LocalNodes[:1]); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	bad := sparse.NewBCSRStructure(1, nil)
+	if err := s.WithLocals([]*sparse.BCSR{bad}, [][]int32{{0, 1}}); err == nil {
+		t.Error("mismatched node count accepted")
+	}
+}
+
+func TestThreadsClamped(t *testing.T) {
+	s, m := buildSuite(t)
+	n3 := 3 * m.NumNodes()
+	x := make([]float64, n3)
+	for i := range x {
+		x[i] = 1
+	}
+	ref := make([]float64, n3)
+	s.BMV(ref, x)
+	// More threads than rows, and the zero default, must both work.
+	y := make([]float64, n3)
+	s.SMVTh(y, x, m.NumNodes()+100)
+	for i := range ref {
+		if math.Abs(y[i]-ref[i]) > 1e-9*(1+math.Abs(ref[i])) {
+			t.Fatal("overthreaded smvth wrong")
+		}
+	}
+	y = make([]float64, n3)
+	s.RMV(y, x, 0)
+	for i := range ref {
+		if math.Abs(y[i]-ref[i]) > 1e-9*(1+math.Abs(ref[i])) {
+			t.Fatal("default-threaded rmv wrong")
+		}
+	}
+}
+
+func TestRaceSafety(t *testing.T) {
+	// Exercised under -race in CI: concurrent kernels on shared input.
+	s, m := buildSuite(t)
+	n3 := 3 * m.NumNodes()
+	x := make([]float64, n3)
+	for i := range x {
+		x[i] = float64(i % 3)
+	}
+	done := make(chan struct{}, 3)
+	for k := 0; k < 3; k++ {
+		go func() {
+			y := make([]float64, n3)
+			s.RMV(y, x, 4)
+			s.LockMV(y, x, 4)
+			done <- struct{}{}
+		}()
+	}
+	for k := 0; k < 3; k++ {
+		<-done
+	}
+}

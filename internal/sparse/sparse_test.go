@@ -1,0 +1,349 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestCSRFromTriplets(t *testing.T) {
+	// [ 1 2 0 ]
+	// [ 0 0 3 ]  with a duplicate on (0,0): 0.5 + 0.5
+	a, err := NewCSRFromTriplets(2, 3,
+		[]int32{0, 0, 1, 0}, []int32{0, 1, 2, 0}, []float64{0.5, 2, 3, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() != 3 {
+		t.Errorf("NNZ = %d, want 3 (duplicates summed)", a.NNZ())
+	}
+	if got := a.At(0, 0); got != 1 {
+		t.Errorf("At(0,0) = %g", got)
+	}
+	if got := a.At(1, 2); got != 3 {
+		t.Errorf("At(1,2) = %g", got)
+	}
+	if got := a.At(1, 0); got != 0 {
+		t.Errorf("At(1,0) = %g, want 0", got)
+	}
+	y := make([]float64, 2)
+	a.MulVec(y, []float64{1, 10, 100})
+	if y[0] != 21 || y[1] != 300 {
+		t.Errorf("MulVec = %v", y)
+	}
+}
+
+func TestCSRFromTripletsErrors(t *testing.T) {
+	if _, err := NewCSRFromTriplets(2, 2, []int32{0}, []int32{0, 1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := NewCSRFromTriplets(2, 2, []int32{5}, []int32{0}, []float64{1}); err == nil {
+		t.Error("out-of-range row accepted")
+	}
+	if _, err := NewCSRFromTriplets(2, 2, []int32{0}, []int32{-1}, []float64{1}); err == nil {
+		t.Error("negative col accepted")
+	}
+}
+
+func TestCSRMulVecPanicsOnBadDims(t *testing.T) {
+	a, _ := NewCSRFromTriplets(2, 2, []int32{0}, []int32{0}, []float64{1})
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on dimension mismatch")
+		}
+	}()
+	a.MulVec(make([]float64, 2), make([]float64, 3))
+}
+
+func TestCSRIsSymmetric(t *testing.T) {
+	sym, _ := NewCSRFromTriplets(2, 2,
+		[]int32{0, 0, 1, 1}, []int32{0, 1, 0, 1}, []float64{1, 5, 5, 2})
+	if !sym.IsSymmetric(1e-12) {
+		t.Error("symmetric matrix reported asymmetric")
+	}
+	asym, _ := NewCSRFromTriplets(2, 2,
+		[]int32{0, 0, 1, 1}, []int32{0, 1, 0, 1}, []float64{1, 5, 4, 2})
+	if asym.IsSymmetric(1e-12) {
+		t.Error("asymmetric matrix reported symmetric")
+	}
+	rect, _ := NewCSRFromTriplets(2, 3, nil, nil, nil)
+	if rect.IsSymmetric(1e-12) {
+		t.Error("rectangular matrix reported symmetric")
+	}
+}
+
+// randomBCSR builds a random block-symmetric BCSR on a random graph.
+func randomBCSR(rng *rand.Rand, n int) *BCSR {
+	seen := map[[2]int32]bool{}
+	var edges [][2]int32
+	for k := 0; k < 3*n; k++ {
+		i, j := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if i == j {
+			continue
+		}
+		if i > j {
+			i, j = j, i
+		}
+		if seen[[2]int32{i, j}] {
+			continue
+		}
+		seen[[2]int32{i, j}] = true
+		edges = append(edges, [2]int32{i, j})
+	}
+	a := NewBCSRStructure(n, edges)
+	for i := 0; i < n; i++ {
+		var b [9]float64
+		for p := range b {
+			b[p] = rng.NormFloat64()
+		}
+		// Symmetrize diagonal block.
+		var bs [9]float64
+		for r := 0; r < 3; r++ {
+			for c := 0; c < 3; c++ {
+				bs[3*r+c] = (b[3*r+c] + b[3*c+r]) / 2
+			}
+		}
+		a.AddBlock(int32(i), int32(i), &bs)
+	}
+	for _, e := range edges {
+		var b [9]float64
+		for p := range b {
+			b[p] = rng.NormFloat64()
+		}
+		var bt [9]float64
+		for r := 0; r < 3; r++ {
+			for c := 0; c < 3; c++ {
+				bt[3*c+r] = b[3*r+c]
+			}
+		}
+		a.AddBlock(e[0], e[1], &b)
+		a.AddBlock(e[1], e[0], &bt)
+	}
+	return a
+}
+
+func TestBCSRStructure(t *testing.T) {
+	a := NewBCSRStructure(3, [][2]int32{{0, 1}, {1, 2}})
+	if a.NNZBlocks() != 3+4 {
+		t.Errorf("NNZBlocks = %d, want 7", a.NNZBlocks())
+	}
+	if a.NNZ() != 9*7 {
+		t.Errorf("NNZ = %d", a.NNZ())
+	}
+	if a.BlockIndex(0, 2) != -1 {
+		t.Error("absent block found")
+	}
+	if a.BlockIndex(2, 1) < 0 {
+		t.Error("present block not found")
+	}
+	// Columns sorted per row.
+	for i := 0; i < a.N; i++ {
+		for k := a.RowOff[i] + 1; k < a.RowOff[i+1]; k++ {
+			if a.Col[k-1] >= a.Col[k] {
+				t.Fatalf("row %d columns not sorted", i)
+			}
+		}
+	}
+}
+
+func TestBCSRAddBlockPanicsOutsidePattern(t *testing.T) {
+	a := NewBCSRStructure(3, [][2]int32{{0, 1}})
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for out-of-pattern block")
+		}
+	}()
+	var b [9]float64
+	a.AddBlock(0, 2, &b)
+}
+
+func TestBCSRMulVecMatchesCSR(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(30)
+		a := randomBCSR(rng, n)
+		c := a.ToCSR()
+		x := make([]float64, 3*n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y1 := make([]float64, 3*n)
+		y2 := make([]float64, 3*n)
+		a.MulVec(y1, x)
+		c.MulVec(y2, x)
+		for i := range y1 {
+			if math.Abs(y1[i]-y2[i]) > 1e-10*(1+math.Abs(y1[i])) {
+				t.Fatalf("trial %d: y[%d] BCSR %g vs CSR %g", trial, i, y1[i], y2[i])
+			}
+		}
+	}
+}
+
+func TestSymBCSRMatchesBCSR(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(30)
+		a := randomBCSR(rng, n)
+		if !a.IsBlockSymmetric(1e-12) {
+			t.Fatal("randomBCSR not symmetric")
+		}
+		s, err := NewSymFromBCSR(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.EquivalentNNZ() != a.NNZ() {
+			t.Errorf("EquivalentNNZ = %d, want %d", s.EquivalentNNZ(), a.NNZ())
+		}
+		x := make([]float64, 3*n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y1 := make([]float64, 3*n)
+		y2 := make([]float64, 3*n)
+		a.MulVec(y1, x)
+		s.MulVec(y2, x)
+		for i := range y1 {
+			if math.Abs(y1[i]-y2[i]) > 1e-9*(1+math.Abs(y1[i])) {
+				t.Fatalf("trial %d: y[%d] BCSR %g vs Sym %g", trial, i, y1[i], y2[i])
+			}
+		}
+	}
+}
+
+func TestBCSRBlockRoundtrip(t *testing.T) {
+	a := NewBCSRStructure(2, [][2]int32{{0, 1}})
+	b := [9]float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	a.AddBlock(0, 1, &b)
+	a.AddBlock(0, 1, &b)
+	got := a.Block(0, 1)
+	for p := range got {
+		if got[p] != 2*b[p] {
+			t.Fatalf("block accumulate: %v", got)
+		}
+	}
+	zero := a.Block(1, 1)
+	for _, v := range zero {
+		if v != 0 {
+			t.Fatal("untouched diagonal block not zero")
+		}
+	}
+	if got := a.Block(1, 0); got[0] != 0 {
+		// (1,0) is in the pattern but never written.
+		t.Fatalf("block (1,0) = %v", got)
+	}
+}
+
+func TestSubmatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomBCSR(rng, 12)
+	nodes := []int32{2, 5, 7, 11}
+	sub := Submatrix(a, nodes)
+	if sub.N != 4 {
+		t.Fatalf("sub.N = %d", sub.N)
+	}
+	for p, gp := range nodes {
+		for q, gq := range nodes {
+			want := a.Block(gp, gq)
+			got := sub.Block(int32(p), int32(q))
+			if want != got {
+				t.Errorf("sub(%d,%d) = %v, want %v", p, q, got, want)
+			}
+		}
+	}
+	// Columns sorted per row.
+	for i := 0; i < sub.N; i++ {
+		for k := sub.RowOff[i] + 1; k < sub.RowOff[i+1]; k++ {
+			if sub.Col[k-1] >= sub.Col[k] {
+				t.Fatalf("submatrix row %d columns not sorted", i)
+			}
+		}
+	}
+}
+
+func TestSymRejectsAsymmetricPattern(t *testing.T) {
+	a := NewBCSRStructure(3, [][2]int32{{0, 1}})
+	// Manually break the pattern: drop block (1,0) by rebuilding.
+	broken := &BCSR{
+		N:      3,
+		RowOff: []int64{0, 2, 3, 4},
+		Col:    []int32{0, 1, 1, 2},
+		Val:    make([]float64, 9*4),
+	}
+	_ = a
+	if _, err := NewSymFromBCSR(broken); err == nil {
+		t.Error("asymmetric pattern accepted")
+	}
+}
+
+// Property: SMVP is linear: A(αx + z) = αAx + Az.
+func TestQuickSMVPLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	a := randomBCSR(rng, 20)
+	n3 := 3 * a.N
+	f := func(seed int64, alpha float64) bool {
+		if math.IsNaN(alpha) || math.IsInf(alpha, 0) || math.Abs(alpha) > 1e6 {
+			return true
+		}
+		r := rand.New(rand.NewSource(seed))
+		x := make([]float64, n3)
+		z := make([]float64, n3)
+		for i := range x {
+			x[i], z[i] = r.NormFloat64(), r.NormFloat64()
+		}
+		comb := make([]float64, n3)
+		for i := range comb {
+			comb[i] = alpha*x[i] + z[i]
+		}
+		y1 := make([]float64, n3)
+		y2 := make([]float64, n3)
+		y3 := make([]float64, n3)
+		a.MulVec(y1, comb)
+		a.MulVec(y2, x)
+		a.MulVec(y3, z)
+		for i := range y1 {
+			want := alpha*y2[i] + y3[i]
+			if math.Abs(y1[i]-want) > 1e-8*(1+math.Abs(want))*(1+math.Abs(alpha)) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{Values: func(v []reflect.Value, r *rand.Rand) {
+		v[0] = reflect.ValueOf(r.Int63())
+		v[1] = reflect.ValueOf(r.NormFloat64() * 10)
+	}}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for symmetric A, x·(Ay) = y·(Ax).
+func TestQuickSymmetrySelfAdjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	a := randomBCSR(rng, 15)
+	n3 := 3 * a.N
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := make([]float64, n3)
+		y := make([]float64, n3)
+		for i := range x {
+			x[i], y[i] = r.NormFloat64(), r.NormFloat64()
+		}
+		ax := make([]float64, n3)
+		ay := make([]float64, n3)
+		a.MulVec(ax, x)
+		a.MulVec(ay, y)
+		var d1, d2, scale float64
+		for i := range x {
+			d1 += x[i] * ay[i]
+			d2 += y[i] * ax[i]
+			scale += math.Abs(x[i]*ay[i]) + math.Abs(y[i]*ax[i])
+		}
+		return math.Abs(d1-d2) < 1e-9*(1+scale)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
