@@ -1,8 +1,9 @@
 # Convenience targets for the quake reproduction.
 
 GO ?= go
+BENCH_DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: all build vet test race bench repro examples clean
+.PHONY: all build vet test race bench bench-json ci repro examples clean
 
 all: build vet test
 
@@ -16,12 +17,21 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/par/ ./internal/spark/
+	$(GO) test -race ./internal/obs/ ./internal/par/ ./internal/spark/
+
+# The gate CI runs: build + vet + full tests, plus the race detector on
+# the concurrency-heavy packages.
+ci: build vet test race
 
 # Regenerates every table/figure into results/ and records the raw
-# benchmark log (the EXPERIMENTS.md pipeline).
-bench:
+# benchmark log (the EXPERIMENTS.md pipeline), then distills it into a
+# machine-readable BENCH_<date>.json for the perf trajectory.
+bench: bench-json
+
+bench-json:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+	$(GO) run ./cmd/benchjson -in bench_output.txt -out BENCH_$(BENCH_DATE).json
+	@echo "wrote BENCH_$(BENCH_DATE).json"
 
 # One-shot figure regeneration without the benchmark harness.
 repro:

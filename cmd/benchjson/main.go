@@ -1,0 +1,102 @@
+// Command benchjson converts `go test -bench` output into a
+// machine-readable JSON file mapping benchmark name to ns/op, so the
+// repository's performance trajectory can be tracked commit over commit
+// (the `make bench-json` target writes BENCH_<date>.json this way).
+//
+// Usage:
+//
+//	go test -bench=. ./... | benchjson -out BENCH_2026-08-05.json
+//	benchjson -in bench_output.txt -out BENCH_2026-08-05.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"time"
+)
+
+// Report is the file's shape: run metadata plus name → ns/op.
+type Report struct {
+	Date       string             `json:"date"`
+	GoVersion  string             `json:"go_version"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	NsPerOp    map[string]float64 `json:"ns_per_op"`
+}
+
+// benchLine matches one benchmark result line, e.g.
+// "BenchmarkDistMulVec-8   100   123456 ns/op   64 B/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func main() {
+	in := flag.String("in", "", "input file (default: stdin)")
+	out := flag.String("out", "", "output JSON file (default: stdout)")
+	flag.Parse()
+
+	if err := run(*in, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(inPath, outPath string) error {
+	var r io.Reader = os.Stdin
+	if inPath != "" {
+		f, err := os.Open(inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	rep, err := parse(r)
+	if err != nil {
+		return err
+	}
+	if len(rep.NsPerOp) == 0 {
+		return fmt.Errorf("no benchmark results found in input")
+	}
+	var w io.Writer = os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// parse scans benchmark output. When the same benchmark appears more
+// than once (several packages, -count>1), the last result wins.
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NsPerOp:    make(map[string]float64),
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		rep.NsPerOp[m[1]] = ns
+	}
+	return rep, sc.Err()
+}

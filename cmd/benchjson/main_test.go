@@ -1,0 +1,78 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkDistMulVec-8         	     100	    123456 ns/op	      64 B/op	       2 allocs/op
+BenchmarkFig7Properties-8     	       2	 510000000 ns/op
+BenchmarkTfLocalSMVP/sf10-8   	      50	  20000.5 ns/op
+--- BENCH: BenchmarkSMVPShare-8
+    bench_test.go:280: smvp share 0.85
+PASS
+ok  	repro	12.3s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkDistMulVec":       123456,
+		"BenchmarkFig7Properties":   510000000,
+		"BenchmarkTfLocalSMVP/sf10": 20000.5,
+	}
+	if len(rep.NsPerOp) != len(want) {
+		t.Fatalf("parsed %d results, want %d: %v", len(rep.NsPerOp), len(want), rep.NsPerOp)
+	}
+	for name, ns := range want {
+		if rep.NsPerOp[name] != ns {
+			t.Errorf("%s = %v, want %v", name, rep.NsPerOp[name], ns)
+		}
+	}
+	if rep.GoVersion == "" || rep.Date == "" {
+		t.Error("missing run metadata")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	out := filepath.Join(dir, "bench.json")
+	if err := os.WriteFile(in, []byte(sampleOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(in, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if rep.NsPerOp["BenchmarkDistMulVec"] != 123456 {
+		t.Fatalf("round trip lost data: %+v", rep)
+	}
+}
+
+func TestRunNoResults(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "empty.txt")
+	if err := os.WriteFile(in, []byte("PASS\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(in, filepath.Join(dir, "out.json")); err == nil {
+		t.Fatal("want error on input with no benchmark lines")
+	}
+}

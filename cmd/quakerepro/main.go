@@ -2,10 +2,17 @@
 // writes them to a directory (default results/), without going through
 // the benchmark harness. It is the "reproduce the paper" button.
 //
+// With -trace and/or -metrics it also executes a measured distributed
+// SMVP pass on the largest requested scenario, so the written telemetry
+// contains real per-PE compute/exchange spans and exchanged-byte
+// counters that can be cross-checked against the analytic C_max
+// accounting. Unknown -format values are an error.
+//
 // Usage:
 //
-//	quakerepro                         # sf10+sf5 quick pass into results/
-//	quakerepro -scenarios sf10,sf5,sf2 -out results -md
+//	quakerepro                              # sf10+sf5 quick pass into results/
+//	quakerepro -scenarios sf10,sf5,sf2 -out results -format md
+//	quakerepro -scenarios sf10 -trace trace.json -metrics metrics.json
 package main
 
 import (
@@ -16,6 +23,8 @@ import (
 	"strings"
 
 	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/quake"
 	"repro/internal/report"
@@ -25,15 +34,27 @@ func main() {
 	scenarios := flag.String("scenarios", "sf10,sf5", "comma-separated scenario names")
 	out := flag.String("out", "results", "output directory")
 	format := flag.String("format", "text", "output format: text|md|csv")
+	trace := flag.String("trace", "", "write a Chrome trace_event JSON file here")
+	metrics := flag.String("metrics", "", "write a metrics snapshot JSON file here")
+	pes := flag.Int("pes", 8, "PE count of the measured pass run for -trace/-metrics")
 	flag.Parse()
 
-	if err := run(*scenarios, *out, *format); err != nil {
+	if err := run(*scenarios, *out, *format, *trace, *metrics, *pes); err != nil {
 		fmt.Fprintln(os.Stderr, "quakerepro:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scenarioList, outDir, format string) error {
+func run(scenarioList, outDir, format, tracePath, metricsPath string, pes int) error {
+	telemetry := tracePath != "" || metricsPath != ""
+	if telemetry {
+		obs.SetEnabled(true)
+		obs.StartTrace()
+		defer func() {
+			obs.SetEnabled(false)
+			obs.StopTrace()
+		}()
+	}
 	var ss []quake.Scenario
 	for _, name := range strings.Split(scenarioList, ",") {
 		s, err := quake.ByName(strings.TrimSpace(name))
@@ -142,5 +163,107 @@ func run(scenarioList, outDir, format string) error {
 		return err
 	}
 	fmt.Println("wrote preset_efficiency")
+
+	if !telemetry {
+		return nil
+	}
+	// Measured pass: run the real goroutine-PE SMVP on the largest
+	// scenario so the trace carries per-PE compute/exchange spans and
+	// the metrics carry observed exchange volumes.
+	if err := measuredPass(largest, pes); err != nil {
+		return err
+	}
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := obs.Default.Snapshot().WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote metrics snapshot to %s\n", metricsPath)
+	}
+	tr := obs.StopTrace()
+	if tr != nil {
+		if err := report.PhaseSummary("Measured phase summary", tr.PhaseStats()).Render(os.Stdout); err != nil {
+			return err
+		}
+		if tracePath != "" {
+			f, err := os.Create(tracePath)
+			if err != nil {
+				return err
+			}
+			if err := tr.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote Chrome trace to %s (open in chrome://tracing or Perfetto)\n", tracePath)
+		}
+	}
+	return nil
+}
+
+// measuredReps is how many barrier-variant SMVPs the measured pass
+// executes; one overlapped-variant SMVP follows them.
+const measuredReps = 3
+
+// measuredPass executes a few distributed SMVPs (barrier and overlapped
+// variants) on goroutine PEs and prints the observed exchange volume
+// against the partition profile's analytic C accounting.
+func measuredPass(s quake.Scenario, pes int) error {
+	m, err := s.Mesh()
+	if err != nil {
+		return err
+	}
+	pt, err := partition.PartitionMesh(m, pes, partition.RCB, 1)
+	if err != nil {
+		return err
+	}
+	pr, err := partition.Analyze(m, pt)
+	if err != nil {
+		return err
+	}
+	dist, err := par.NewDist(m, quake.Material(), pt, pr)
+	if err != nil {
+		return err
+	}
+	x := make([]float64, 3*m.NumNodes())
+	for i := range x {
+		x[i] = float64(i%11) * 0.1
+	}
+	y := make([]float64, len(x))
+	before := obs.Default.Snapshot()
+	const reps = measuredReps
+	for i := 0; i < reps; i++ {
+		if _, err := dist.SMVP(y, x); err != nil {
+			return err
+		}
+	}
+	if _, err := dist.SMVPOverlapped(y, x); err != nil {
+		return err
+	}
+	after := obs.Default.Snapshot()
+
+	// Cross-check: per-PE observed bytes vs 8·C[i] per SMVP invocation.
+	var observedMax, analyticMax int64
+	for i := 0; i < pes; i++ {
+		name := fmt.Sprintf("par.exchange.bytes.pe%d", i)
+		observed := (after.Counters[name] - before.Counters[name]) / (reps + 1)
+		if observed > observedMax {
+			observedMax = observed
+		}
+		if c := 8 * pr.C[i]; c > analyticMax {
+			analyticMax = c
+		}
+	}
+	fmt.Printf("measured pass on %s/%d: observed max exchange %s B/SMVP, analytic 8·C_max %s B\n",
+		s.Name, pes, report.Int(observedMax), report.Int(analyticMax))
 	return nil
 }

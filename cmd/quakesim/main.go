@@ -21,6 +21,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/machine"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/quake"
@@ -32,15 +33,41 @@ func main() {
 	steps := flag.Int("steps", 300, "time steps to integrate")
 	pes := flag.Int("pes", 8, "PE count for the distributed SMVP")
 	seis := flag.String("seis", "", "write receiver seismograms as CSV to this file")
+	trace := flag.String("trace", "", "write a Chrome trace_event JSON file here")
+	metrics := flag.String("metrics", "", "write a metrics snapshot JSON file here")
 	flag.Parse()
 
-	if err := run(*scenario, *steps, *pes, *seis); err != nil {
+	if err := run(*scenario, *steps, *pes, *seis, *trace, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "quakesim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(name string, steps, pes int, seisPath string) error {
+func run(name string, steps, pes int, seisPath, tracePath, metricsPath string) error {
+	if tracePath != "" || metricsPath != "" {
+		obs.SetEnabled(true)
+		obs.StartTrace()
+		defer func() {
+			obs.SetEnabled(false)
+			if tr := obs.StopTrace(); tr != nil {
+				report.PhaseSummary("Measured phase summary", tr.PhaseStats()).Render(os.Stdout)
+				if tracePath != "" {
+					if err := writeTrace(tracePath, tr); err != nil {
+						fmt.Fprintln(os.Stderr, "quakesim: trace:", err)
+					} else {
+						fmt.Printf("wrote Chrome trace to %s (open in chrome://tracing or Perfetto)\n", tracePath)
+					}
+				}
+			}
+			if metricsPath != "" {
+				if err := writeMetrics(metricsPath); err != nil {
+					fmt.Fprintln(os.Stderr, "quakesim: metrics:", err)
+				} else {
+					fmt.Printf("wrote metrics snapshot to %s\n", metricsPath)
+				}
+			}
+		}()
+	}
 	s, err := quake.ByName(name)
 	if err != nil {
 		return err
@@ -156,6 +183,32 @@ func run(name string, steps, pes int, seisPath string) error {
 	fmt.Printf("modeled efficiency of %s on %s/%d: %.3f\n",
 		t3e.Name, s.Name, pes, model.Efficiency(app, t3e.Tf, t3e.Tl, t3e.Tw))
 	return nil
+}
+
+// writeTrace serializes the tracer to path.
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeMetrics serializes the default registry's snapshot to path.
+func writeMetrics(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.Default.Snapshot().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeSeismograms emits one CSV row per step: time then |u| at each

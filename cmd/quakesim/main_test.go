@@ -1,15 +1,15 @@
 package main
 
-import "testing"
-
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"testing"
 )
 
 func TestRun(t *testing.T) {
 	seis := filepath.Join(t.TempDir(), "seis.csv")
-	if err := run("sf10", 40, 4, seis); err != nil {
+	if err := run("sf10", 40, 4, seis, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	fi, err := os.Stat(seis)
@@ -21,8 +21,27 @@ func TestRun(t *testing.T) {
 	}
 }
 
+func TestRunTelemetry(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.json")
+	metrics := filepath.Join(dir, "metrics.json")
+	if err := run("sf10", 20, 4, "", trace, metrics); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{trace, metrics} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v map[string]any
+		if err := json.Unmarshal(data, &v); err != nil {
+			t.Fatalf("%s: invalid JSON: %v", path, err)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run("bogus", 10, 2, ""); err == nil {
+	if err := run("bogus", 10, 2, "", "", ""); err == nil {
 		t.Error("unknown scenario accepted")
 	}
 }

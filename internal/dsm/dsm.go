@@ -17,6 +17,7 @@ package dsm
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/partition"
 )
 
@@ -83,6 +84,8 @@ func (a *Analysis) Cmax() int64 {
 // segment; the pages are the distinct PageWords-sized ranges covering
 // those words.
 func Analyze(pr *partition.Profile, layout Layout) (*Analysis, error) {
+	sp := obs.StartSpan(obs.TrackDriver, "setup", "dsm.analyze")
+	defer sp.End()
 	if layout.PageWords <= 0 {
 		return nil, fmt.Errorf("dsm: page size must be positive, got %d", layout.PageWords)
 	}
@@ -147,5 +150,9 @@ func Analyze(pr *partition.Profile, layout Layout) (*Analysis, error) {
 		a.C[k.dst] += n * layout.PageWords
 		a.C[k.src] += n * layout.PageWords
 	}
+	obs.GetCounter("dsm.analyze.calls").Add(1)
+	obs.GetCounter("dsm.word_volume").Add(a.WordVolume)
+	obs.GetCounter("dsm.page_volume").Add(a.PageVolume)
+	obs.GetGauge("dsm.amplification").Set(a.Amplification())
 	return a, nil
 }

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"repro/internal/comm"
+	"repro/internal/obs"
 )
 
 // Params describes one machine configuration. Times are in seconds.
@@ -131,6 +132,8 @@ type SimResult struct {
 // arrived yet. Block arrival time is the sender-side completion plus
 // Transit, plus any queueing delay in the bisection channel.
 func Simulate(s *comm.Schedule, p Params, net NetworkConfig) SimResult {
+	sp := obs.StartSpan(obs.TrackDriver, "simulate", "machine.simulate")
+	defer sp.End()
 	type arrival struct {
 		at    float64
 		words int64
@@ -207,5 +210,7 @@ func Simulate(s *comm.Schedule, p Params, net NetworkConfig) SimResult {
 			res.CommTime = busy
 		}
 	}
+	obs.GetCounter("machine.sim.runs").Add(1)
+	obs.GetGauge("machine.sim.comm_seconds").Set(res.CommTime)
 	return res
 }

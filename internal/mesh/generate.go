@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/octree"
 )
 
@@ -26,6 +27,8 @@ import (
 // integer lattice at resolution 2^(maxDepth+1) per root cube, making
 // deduplication exact.
 func FromTree(t *octree.Tree) (*Mesh, error) {
+	sp := obs.StartSpan(obs.TrackDriver, "setup", "mesh.generate")
+	defer sp.End()
 	cfg := t.Config()
 	maxD := t.MaxLeafDepth()
 	// Lattice resolution: 2^(maxD+1) per depth-0 cube (so cell centers
@@ -80,6 +83,9 @@ func FromTree(t *octree.Tree) (*Mesh, error) {
 		g.emitCell(c)
 	}
 	m := &Mesh{Coords: g.coords, Tets: g.tets}
+	obs.GetCounter("mesh.generate.calls").Add(1)
+	obs.GetCounter("mesh.generate.nodes").Add(int64(len(m.Coords)))
+	obs.GetCounter("mesh.generate.elems").Add(int64(len(m.Tets)))
 	return m, nil
 }
 

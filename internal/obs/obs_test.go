@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// withEnabled runs f with metrics collection on, restoring the prior
+// state afterwards so tests compose.
+func withEnabled(t *testing.T, f func()) {
+	t.Helper()
+	prev := Enabled()
+	SetEnabled(true)
+	defer SetEnabled(prev)
+	f()
+}
+
+func TestDisabledIsNoOp(t *testing.T) {
+	r := NewRegistry()
+	SetEnabled(false)
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	c.Add(5)
+	g.Set(3.25)
+	h.Observe(1024)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatalf("disabled telemetry recorded: counter=%d gauge=%g hist=%d",
+			c.Value(), g.Value(), h.Count())
+	}
+}
+
+func TestNilMetricsAreSafe(t *testing.T) {
+	withEnabled(t, func() {
+		var c *Counter
+		var g *Gauge
+		var h *Histogram
+		c.Add(1)
+		g.Set(1)
+		h.Observe(1)
+		if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+			t.Fatal("nil metrics should read zero")
+		}
+	})
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	withEnabled(t, func() {
+		r := NewRegistry()
+		const workers = 16
+		const perWorker = 1000
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				defer wg.Done()
+				c := r.Counter("shared.counter")
+				h := r.Histogram("shared.hist")
+				g := r.Gauge("shared.gauge")
+				for i := 0; i < perWorker; i++ {
+					c.Add(1)
+					h.Observe(int64(i % 4096))
+					g.Set(float64(w))
+				}
+			}(w)
+		}
+		wg.Wait()
+		if got := r.Counter("shared.counter").Value(); got != workers*perWorker {
+			t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+		}
+		if got := r.Histogram("shared.hist").Count(); got != workers*perWorker {
+			t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+		}
+	})
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	withEnabled(t, func() {
+		r := NewRegistry()
+		h := r.Histogram("h")
+		// 0 and negatives → zero bucket (le 1); 1 → [1,2); 2,3 → [2,4);
+		// 1024 → [1024,2048).
+		for _, v := range []int64{0, -7, 1, 2, 3, 1024} {
+			h.Observe(v)
+		}
+		snap := r.Snapshot().Histograms["h"]
+		if snap.Count != 6 {
+			t.Fatalf("count = %d, want 6", snap.Count)
+		}
+		if snap.Sum != 0-7+1+2+3+1024 {
+			t.Fatalf("sum = %d", snap.Sum)
+		}
+		want := map[uint64]int64{1: 2, 2: 1, 4: 2, 2048: 1}
+		if len(snap.Buckets) != len(want) {
+			t.Fatalf("buckets = %+v, want bounds %v", snap.Buckets, want)
+		}
+		for _, b := range snap.Buckets {
+			if want[b.Le] != b.Count {
+				t.Fatalf("bucket le=%d count=%d, want %d", b.Le, b.Count, want[b.Le])
+			}
+		}
+	})
+}
+
+func TestSnapshotDeterminism(t *testing.T) {
+	withEnabled(t, func() {
+		build := func() *Registry {
+			r := NewRegistry()
+			// Populate in different orders; JSON must come out identical.
+			names := []string{"z.last", "a.first", "m.mid"}
+			for _, n := range names {
+				r.Counter(n).Add(3)
+				r.Gauge("g." + n).Set(1.5)
+				r.Histogram("h." + n).Observe(17)
+			}
+			return r
+		}
+		var bufs [2]bytes.Buffer
+		for i := range bufs {
+			if err := build().Snapshot().WriteJSON(&bufs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !bytes.Equal(bufs[0].Bytes(), bufs[1].Bytes()) {
+			t.Fatalf("snapshots differ:\n%s\nvs\n%s", bufs[0].String(), bufs[1].String())
+		}
+		// And the JSON is parseable with the expected top-level shape.
+		var m map[string]json.RawMessage
+		if err := json.Unmarshal(bufs[0].Bytes(), &m); err != nil {
+			t.Fatal(err)
+		}
+		for _, key := range []string{"counters", "gauges", "histograms"} {
+			if _, ok := m[key]; !ok {
+				t.Fatalf("snapshot JSON missing %q", key)
+			}
+		}
+	})
+}
+
+func TestCounterNamesPrefix(t *testing.T) {
+	withEnabled(t, func() {
+		r := NewRegistry()
+		r.Counter("par.exchange.bytes.pe1").Add(1)
+		r.Counter("par.exchange.bytes.pe0").Add(1)
+		r.Counter("spark.smv.calls").Add(1)
+		got := r.Snapshot().CounterNames("par.exchange.bytes.")
+		if len(got) != 2 || got[0] != "par.exchange.bytes.pe0" || got[1] != "par.exchange.bytes.pe1" {
+			t.Fatalf("CounterNames = %v", got)
+		}
+	})
+}
+
+func TestRegistryReset(t *testing.T) {
+	withEnabled(t, func() {
+		r := NewRegistry()
+		r.Counter("c").Add(1)
+		r.Reset()
+		if got := r.Counter("c").Value(); got != 0 {
+			t.Fatalf("after reset counter = %d", got)
+		}
+	})
+}
+
+func BenchmarkCounterDisabled(b *testing.B) {
+	SetEnabled(false)
+	c := NewRegistry().Counter("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkCounterEnabled(b *testing.B) {
+	prev := Enabled()
+	SetEnabled(true)
+	defer SetEnabled(prev)
+	c := NewRegistry().Counter("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanNoOpWhenInactive(t *testing.T) {
+	StopTrace()
+	sp := StartSpanPE("compute", "x", 0)
+	if sp.Active() {
+		t.Fatal("span active without a tracer")
+	}
+	sp.End() // must not panic
+}
+
+func TestTraceJSONWellFormed(t *testing.T) {
+	tr := StartTrace()
+	defer StopTrace()
+
+	sp := StartSpan(TrackDriver, "setup", "mesh.generate")
+	time.Sleep(time.Millisecond)
+	sp.End()
+
+	var wg sync.WaitGroup
+	for pe := 0; pe < 4; pe++ {
+		wg.Add(1)
+		go func(pe int) {
+			defer wg.Done()
+			c := StartSpanPE("compute", "par.smvp.compute", pe)
+			time.Sleep(time.Millisecond)
+			c.End()
+			e := StartSpanPE("exchange", "par.smvp.exchange", pe)
+			e.EndWith(map[string]any{"bytes": 4096})
+		}(pe)
+	}
+	wg.Wait()
+	tr.CounterEvent(TrackDriver, "cg.residual", 0.5)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	if file.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", file.DisplayTimeUnit)
+	}
+
+	threadNames := make(map[int]string)
+	computeTids := make(map[int]bool)
+	exchangeTids := make(map[int]bool)
+	var sawCounter, sawDriver bool
+	for _, e := range file.TraceEvents {
+		switch e.Ph {
+		case "M":
+			if e.Name == "thread_name" {
+				threadNames[e.Tid] = e.Args["name"].(string)
+			}
+		case "X":
+			if e.Dur < 0 || e.Ts < 0 {
+				t.Fatalf("negative ts/dur in %+v", e)
+			}
+			switch e.Name {
+			case "par.smvp.compute":
+				computeTids[e.Tid] = true
+			case "par.smvp.exchange":
+				exchangeTids[e.Tid] = true
+				if e.Args["bytes"].(float64) != 4096 {
+					t.Fatalf("exchange args = %v", e.Args)
+				}
+			case "mesh.generate":
+				sawDriver = true
+			}
+		case "C":
+			sawCounter = true
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+	}
+	if !sawDriver || !sawCounter {
+		t.Fatalf("missing driver span (%v) or counter event (%v)", sawDriver, sawCounter)
+	}
+	if len(computeTids) != 4 || len(exchangeTids) != 4 {
+		t.Fatalf("want compute+exchange spans on 4 distinct tracks, got %d/%d",
+			len(computeTids), len(exchangeTids))
+	}
+	for tid := range computeTids {
+		name := threadNames[tid]
+		if name == "" || name == TrackDriver {
+			t.Fatalf("PE span on unlabeled track %d (%q)", tid, name)
+		}
+	}
+}
+
+func TestPhaseStats(t *testing.T) {
+	tr := StartTrace()
+	defer StopTrace()
+	for pe := 0; pe < 2; pe++ {
+		sp := StartSpanPE("compute", "phaseA", pe)
+		time.Sleep(2 * time.Millisecond)
+		sp.End()
+	}
+	sp := StartSpan(TrackDriver, "setup", "phaseB")
+	sp.End()
+
+	stats := tr.PhaseStats()
+	if len(stats) != 2 {
+		t.Fatalf("got %d phases, want 2", len(stats))
+	}
+	if stats[0].Name != "phaseA" {
+		t.Fatalf("phases not sorted by total time: %+v", stats)
+	}
+	a := stats[0]
+	if a.Count != 2 || a.Tracks != 2 || a.Total < a.Max || a.Max <= 0 {
+		t.Fatalf("phaseA stat inconsistent: %+v", a)
+	}
+}
+
+func TestPETrackNames(t *testing.T) {
+	if PETrack(3) != "pe3" || PETrack(300) != "pe300" {
+		t.Fatalf("PETrack naming broken: %q %q", PETrack(3), PETrack(300))
+	}
+}

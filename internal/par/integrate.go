@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/fem"
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // DistSim is the distributed Quake application: the explicit
@@ -148,6 +149,7 @@ func (s *DistSim) Run(coords []geom.Vec3, cfg fem.SimConfig) (*DistSimResult, er
 		}
 	}
 
+	obs.GetCounter("par.distsim.steps").Add(int64(cfg.Steps))
 	start := time.Now()
 	var flops int64
 	for step := 0; step < cfg.Steps; step++ {
@@ -157,9 +159,11 @@ func (s *DistSim) Run(coords []geom.Vec3, cfg fem.SimConfig) (*DistSimResult, er
 
 		// Computation phase: local SMVP.
 		parallelFor(d.P, func(pe int) {
+			sp := obs.StartSpanPE("compute", "par.step.compute", pe)
 			t0 := time.Now()
 			d.K[pe].MulVec(ku[pe], u[pe])
 			computeAcc[pe] += time.Since(t0)
+			sp.End()
 		})
 		for pe := 0; pe < d.P; pe++ {
 			flops += int64(2 * d.K[pe].NNZ())
@@ -167,17 +171,25 @@ func (s *DistSim) Run(coords []geom.Vec3, cfg fem.SimConfig) (*DistSimResult, er
 
 		// Communication phase: exchange and sum partial K·u.
 		parallelFor(d.P, func(pe int) {
+			sp := obs.StartSpanPE("exchange", "par.step.post", pe)
 			t0 := time.Now()
+			var sent int64
 			for k, locals := range d.Shared[pe] {
 				buf := mail[pe][k]
 				for sIdx, l := range locals {
 					copy(buf[3*sIdx:3*sIdx+3], ku[pe][3*l:3*l+3])
 				}
+				sent += bytesPerSharedNode * int64(len(locals))
 			}
 			exchangeAcc[pe] += time.Since(t0)
+			d.met.exchBytes[pe].Add(sent)
+			d.met.exchMsgs.Add(int64(len(d.Shared[pe])))
+			sp.End()
 		})
 		parallelFor(d.P, func(pe int) {
+			sp := obs.StartSpanPE("exchange", "par.step.recv", pe)
 			t0 := time.Now()
+			var recvd int64
 			for k, nbr := range d.Neighbors[pe] {
 				rev := indexOf(d.Neighbors[nbr], int32(pe))
 				buf := mail[nbr][rev]
@@ -187,12 +199,16 @@ func (s *DistSim) Run(coords []geom.Vec3, cfg fem.SimConfig) (*DistSimResult, er
 					ku[pe][3*l+1] += buf[3*sIdx+1]
 					ku[pe][3*l+2] += buf[3*sIdx+2]
 				}
+				recvd += bytesPerSharedNode * int64(len(locals))
 			}
 			exchangeAcc[pe] += time.Since(t0)
+			d.met.exchBytes[pe].Add(recvd)
+			sp.End()
 		})
 
 		// Update phase: identical on every replica.
 		parallelFor(d.P, func(pe int) {
+			sp := obs.StartSpanPE("update", "par.step.update", pe)
 			t0 := time.Now()
 			nloc := len(d.Nodes[pe])
 			for i := 0; i < nloc; i++ {
@@ -234,6 +250,7 @@ func (s *DistSim) Run(coords []geom.Vec3, cfg fem.SimConfig) (*DistSimResult, er
 				}
 			}
 			updateAcc[pe] += time.Since(t0)
+			sp.End()
 		})
 
 		for i, r := range rcvs {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // SMVPOverlapped computes y = K·x with the restructured kernel the
@@ -47,6 +49,7 @@ func (d *Dist) SMVPOverlapped(y, x []float64) (*Timing, error) {
 		}
 	}
 
+	d.met.smvps.Add(1)
 	var wg sync.WaitGroup
 	wg.Add(d.P)
 	for pe := 0; pe < d.P; pe++ {
@@ -60,28 +63,42 @@ func (d *Dist) SMVPOverlapped(y, x []float64) (*Timing, error) {
 			yl := make([]float64, 3*len(nodes))
 
 			// Boundary rows first.
+			sp := obs.StartSpanPE("compute", "par.overlap.boundary", pe)
 			t0 := time.Now()
 			d.K[pe].MulVecRows(yl, xl, d.Boundary[pe])
 			boundaryDur := time.Since(t0)
+			sp.End()
 
 			// Post partials while interior work remains.
+			sp = obs.StartSpanPE("exchange", "par.overlap.post", pe)
 			t0 = time.Now()
+			var sent int64
 			for k, locals := range d.Shared[pe] {
 				buf := make([]float64, 3*len(locals))
 				for s, l := range locals {
 					copy(buf[3*s:3*s+3], yl[3*l:3*l+3])
 				}
 				in[d.Neighbors[pe][k]][revIdx[pe][k]] <- buf
+				n := bytesPerSharedNode * int64(len(locals))
+				sent += n
+				d.met.msgBytes.Observe(n)
 			}
 			postDur := time.Since(t0)
+			d.met.exchBytes[pe].Add(sent)
+			d.met.exchMsgs.Add(int64(len(d.Shared[pe])))
+			sp.End()
 
 			// Interior rows overlap the exchange.
+			sp = obs.StartSpanPE("compute", "par.overlap.interior", pe)
 			t0 = time.Now()
 			d.K[pe].MulVecRows(yl, xl, d.Interior[pe])
 			interiorDur := time.Since(t0)
+			sp.End()
 
 			// Receive and accumulate.
+			sp = obs.StartSpanPE("exchange", "par.overlap.recv", pe)
 			t0 = time.Now()
+			var recvd int64
 			for k := range d.Neighbors[pe] {
 				buf := <-in[pe][k]
 				locals := d.Shared[pe][k]
@@ -90,8 +107,11 @@ func (d *Dist) SMVPOverlapped(y, x []float64) (*Timing, error) {
 					yl[3*l+1] += buf[3*s+1]
 					yl[3*l+2] += buf[3*s+2]
 				}
+				recvd += bytesPerSharedNode * int64(len(locals))
 			}
 			recvDur := time.Since(t0)
+			d.met.exchBytes[pe].Add(recvd)
+			sp.End()
 
 			for l, g := range nodes {
 				if d.Owner[g] != int32(pe) {

@@ -19,6 +19,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/material"
 	"repro/internal/mesh"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/sparse"
 )
@@ -49,7 +50,39 @@ type Dist struct {
 	// is the complement. Both are sorted.
 	Boundary [][]int32
 	Interior [][]int32
+
+	// met holds the operator's telemetry handles, resolved once here so
+	// the SMVP hot path performs only atomic adds (which no-op while
+	// obs is disabled).
+	met distMetrics
 }
+
+// distMetrics are the telemetry handles of one distributed operator.
+// ExchBytes follows the partition profile's C accounting: bytes both
+// sent and received by the PE, i.e. 8·C[i] per SMVP invocation.
+type distMetrics struct {
+	smvps     *obs.Counter
+	exchMsgs  *obs.Counter
+	msgBytes  *obs.Histogram
+	exchBytes []*obs.Counter
+}
+
+func newDistMetrics(p int) distMetrics {
+	m := distMetrics{
+		smvps:     obs.GetCounter("par.smvp.calls"),
+		exchMsgs:  obs.GetCounter("par.exchange.msgs"),
+		msgBytes:  obs.GetHistogram("par.exchange.msg_bytes"),
+		exchBytes: make([]*obs.Counter, p),
+	}
+	for i := 0; i < p; i++ {
+		m.exchBytes[i] = obs.GetCounter(fmt.Sprintf("par.exchange.bytes.pe%d", i))
+	}
+	return m
+}
+
+// bytesPerSharedNode is the wire size of one shared node's partial sum:
+// three float64 words.
+const bytesPerSharedNode = 8 * partition.WordsPerNode
 
 // NewDist builds the distributed operator from a mesh, a material
 // model, and a partition with its analysis profile.
@@ -185,6 +218,7 @@ func NewDist(m *mesh.Mesh, mat *material.Model, pt *partition.Partition, pr *par
 			}
 		}
 	}
+	d.met = newDistMetrics(p)
 	return d, nil
 }
 
@@ -241,31 +275,45 @@ func (d *Dist) SMVP(y, x []float64) (*Timing, error) {
 		mail[pe] = make([][]float64, len(d.Neighbors[pe]))
 	})
 
+	d.met.smvps.Add(1)
+
 	// Computation phase.
 	parallelFor(d.P, func(pe int) {
+		sp := obs.StartSpanPE("compute", "par.smvp.compute", pe)
 		start := time.Now()
 		d.K[pe].MulVec(yloc[pe], xloc[pe])
 		tm.Compute[pe] = time.Since(start)
+		sp.End()
 	})
 
 	// Communication phase, step 1: post partial sums for each neighbor.
 	parallelFor(d.P, func(pe int) {
+		sp := obs.StartSpanPE("exchange", "par.smvp.post", pe)
 		start := time.Now()
+		var sent int64
 		for k, locals := range d.Shared[pe] {
 			buf := make([]float64, 3*len(locals))
 			for s, l := range locals {
 				copy(buf[3*s:3*s+3], yloc[pe][3*l:3*l+3])
 			}
 			mail[pe][k] = buf
+			n := bytesPerSharedNode * int64(len(locals))
+			sent += n
+			d.met.msgBytes.Observe(n)
 		}
 		tm.Comm[pe] = time.Since(start)
+		d.met.exchBytes[pe].Add(sent)
+		d.met.exchMsgs.Add(int64(len(d.Shared[pe])))
+		sp.End()
 	})
 
 	// Communication phase, step 2: receive and accumulate. Neighbor
 	// lists are symmetric, so PE pe is neighbor index revIdx on the
 	// other side.
 	parallelFor(d.P, func(pe int) {
+		sp := obs.StartSpanPE("exchange", "par.smvp.recv", pe)
 		start := time.Now()
+		var recvd int64
 		for k, nbr := range d.Neighbors[pe] {
 			rev := indexOf(d.Neighbors[nbr], int32(pe))
 			buf := mail[nbr][rev]
@@ -275,8 +323,11 @@ func (d *Dist) SMVP(y, x []float64) (*Timing, error) {
 				yloc[pe][3*l+1] += buf[3*s+1]
 				yloc[pe][3*l+2] += buf[3*s+2]
 			}
+			recvd += bytesPerSharedNode * int64(len(locals))
 		}
 		tm.Comm[pe] += time.Since(start)
+		d.met.exchBytes[pe].Add(recvd)
+		sp.End()
 	})
 
 	// Gather phase: owners write their nodes' results.

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/mesh"
+	"repro/internal/obs"
 )
 
 // Method selects a partitioning algorithm.
@@ -70,6 +71,9 @@ type Partition struct {
 // PartitionMesh partitions the elements of m into p subdomains with the
 // given method. seed is used only by the Random method.
 func PartitionMesh(m *mesh.Mesh, p int, method Method, seed int64) (*Partition, error) {
+	sp := obs.StartSpan(obs.TrackDriver, "setup", "partition."+method.String())
+	defer sp.End()
+	obs.GetCounter("partition.calls").Add(1)
 	if p <= 0 {
 		return nil, fmt.Errorf("partition: p must be positive, got %d", p)
 	}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/mesh"
+	"repro/internal/obs"
 )
 
 // WordsPerNode is the number of 64-bit words exchanged per shared node
@@ -54,6 +55,8 @@ type Profile struct {
 
 // Analyze computes the communication profile of the partitioned mesh.
 func Analyze(m *mesh.Mesh, pt *Partition) (*Profile, error) {
+	sp := obs.StartSpan(obs.TrackDriver, "setup", "partition.analyze")
+	defer sp.End()
 	if len(pt.ElemPE) != m.NumElems() {
 		return nil, fmt.Errorf("partition: partition covers %d elements, mesh has %d",
 			len(pt.ElemPE), m.NumElems())
@@ -175,6 +178,8 @@ func Analyze(m *mesh.Mesh, pt *Partition) (*Profile, error) {
 		pr.F[i] = 2 * 9 * blocks[i] // two flops per scalar nonzero
 		pr.FBoundary[i] = 2 * 9 * bblocks[i]
 	}
+	obs.GetCounter("partition.analyze.calls").Add(1)
+	obs.GetGauge("partition.shared_nodes").Set(float64(pr.SharedNodes))
 	return pr, nil
 }
 

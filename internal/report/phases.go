@@ -1,0 +1,29 @@
+package report
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// PhaseSummary renders the tracer's per-phase aggregates as a table:
+// one row per span name, sorted by total time, with the invocation
+// count, the number of distinct tracks (PEs) the phase ran on, and
+// total / max / mean span durations. This is the human-readable
+// companion to the Chrome trace the -trace flag writes.
+func PhaseSummary(title string, stats []obs.PhaseStat) *Table {
+	t := New(title, "phase", "count", "tracks", "total", "max", "mean")
+	for _, s := range stats {
+		mean := time.Duration(0)
+		if s.Count > 0 {
+			mean = s.Total / time.Duration(s.Count)
+		}
+		t.AddRow(s.Name,
+			Int(s.Count),
+			Int(int64(s.Tracks)),
+			SI(s.Total.Seconds(), "s"),
+			SI(s.Max.Seconds(), "s"),
+			SI(mean.Seconds(), "s"))
+	}
+	return t
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/sparse"
 )
 
@@ -115,6 +116,29 @@ func CG(a Operator, b, x []float64, cfg Config) (*Result, error) {
 	}
 
 	res := &Result{}
+
+	// Telemetry: one solve span on the driver track, aggregate counters,
+	// and (when tracing) a residual counter series per iteration.
+	sp := obs.StartSpan(obs.TrackDriver, "solve", "solver.cg")
+	tracer := obs.ActiveTracer()
+	obs.GetCounter("solver.cg.solves").Add(1)
+	iterations := obs.GetCounter("solver.cg.iterations")
+	smvps := obs.GetCounter("solver.cg.smvps")
+	dots := obs.GetCounter("solver.cg.dotproducts")
+	residual := obs.GetGauge("solver.cg.residual")
+	defer func() {
+		iterations.Add(int64(res.Iterations))
+		smvps.Add(int64(res.SMVPs))
+		dots.Add(int64(res.DotProducts))
+		residual.Set(res.Residual)
+		obs.GetHistogram("solver.cg.iters_per_solve").Observe(int64(res.Iterations))
+		sp.EndWith(map[string]any{
+			"iterations": res.Iterations,
+			"residual":   res.Residual,
+			"converged":  res.Converged,
+		})
+	}()
+
 	r := make([]float64, n)
 	z := make([]float64, n)
 	p := make([]float64, n)
@@ -165,6 +189,9 @@ func CG(a Operator, b, x []float64, cfg Config) (*Result, error) {
 		rn := norm2(r)
 		res.DotProducts++
 		res.Residual = rn / normB
+		if tracer != nil {
+			tracer.CounterEvent(obs.TrackDriver, "solver.cg.residual", res.Residual)
+		}
 		if res.Residual <= cfg.Tol {
 			res.Converged = true
 			return res, nil

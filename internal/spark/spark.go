@@ -29,6 +29,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/sparse"
 )
 
@@ -54,6 +55,34 @@ type Suite struct {
 	// optional (nil when the suite was built without a partition).
 	Locals     []*sparse.BCSR
 	LocalNodes [][]int32
+
+	// met maps kernel name to its pre-resolved telemetry handles, so
+	// each kernel invocation costs two atomic adds (no-ops while obs
+	// is disabled).
+	met map[string]kernelMetrics
+	// lmvFlops is the flop count of one LMV pass, set by WithLocals.
+	lmvFlops int64
+}
+
+// kernelMetrics counts invocations and floating-point operations of one
+// kernel, under the Spark98 convention of two flops per used scalar.
+type kernelMetrics struct {
+	calls *obs.Counter
+	flops *obs.Counter
+}
+
+func newKernelMetrics(kernel string) kernelMetrics {
+	return kernelMetrics{
+		calls: obs.GetCounter("spark." + kernel + ".calls"),
+		flops: obs.GetCounter("spark." + kernel + ".flops"),
+	}
+}
+
+// record logs one invocation of the kernel.
+func (s *Suite) record(kernel string, flops int64) {
+	m := s.met[kernel]
+	m.calls.Add(1)
+	m.flops.Add(flops)
 }
 
 // NewSuite builds the storage variants from a block-symmetric BCSR.
@@ -62,7 +91,13 @@ func NewSuite(k *sparse.BCSR) (*Suite, error) {
 	if err != nil {
 		return nil, fmt.Errorf("spark: %w", err)
 	}
-	return &Suite{N: k.N, B: k, CSR: k.ToCSR(), Sym: sym}, nil
+	s := &Suite{N: k.N, B: k, CSR: k.ToCSR(), Sym: sym,
+		met: make(map[string]kernelMetrics)}
+	for _, name := range []string{KernelSMV, KernelBMV, KernelSMVSym,
+		KernelLMV, KernelSMVTh, KernelRMV, KernelLockMV} {
+		s.met[name] = newKernelMetrics(name)
+	}
+	return s, nil
 }
 
 // WithLocals attaches per-subdomain local matrices (see par.Dist) for
@@ -79,17 +114,30 @@ func (s *Suite) WithLocals(locals []*sparse.BCSR, nodes [][]int32) error {
 	}
 	s.Locals = locals
 	s.LocalNodes = nodes
+	s.lmvFlops = 0
+	for _, k := range locals {
+		s.lmvFlops += int64(2 * k.NNZ())
+	}
 	return nil
 }
 
 // SMV runs the scalar-CSR sequential kernel.
-func (s *Suite) SMV(y, x []float64) { s.CSR.MulVec(y, x) }
+func (s *Suite) SMV(y, x []float64) {
+	s.record(KernelSMV, int64(2*s.CSR.NNZ()))
+	s.CSR.MulVec(y, x)
+}
 
 // BMV runs the block-CSR sequential kernel.
-func (s *Suite) BMV(y, x []float64) { s.B.MulVec(y, x) }
+func (s *Suite) BMV(y, x []float64) {
+	s.record(KernelBMV, int64(2*s.B.NNZ()))
+	s.B.MulVec(y, x)
+}
 
 // SMVSym runs the symmetric-storage sequential kernel.
-func (s *Suite) SMVSym(y, x []float64) { s.Sym.MulVec(y, x) }
+func (s *Suite) SMVSym(y, x []float64) {
+	s.record(KernelSMVSym, int64(2*s.Sym.EquivalentNNZ()))
+	s.Sym.MulVec(y, x)
+}
 
 // LMV runs the partitioned kernel sequentially: each subdomain's local
 // matrix is applied to its local slice of x, and the partial results
@@ -98,6 +146,7 @@ func (s *Suite) LMV(y, x []float64) error {
 	if s.Locals == nil {
 		return fmt.Errorf("spark: lmv requires local matrices")
 	}
+	s.record(KernelLMV, s.lmvFlops)
 	for i := range y {
 		y[i] = 0
 	}
@@ -124,6 +173,7 @@ func (s *Suite) LMV(y, x []float64) error {
 // synchronization beyond the final join is needed — this is Spark98's
 // natural shared-memory kernel.
 func (s *Suite) SMVTh(y, x []float64, threads int) {
+	s.record(KernelSMVTh, int64(2*s.B.NNZ()))
 	if threads <= 0 {
 		threads = runtime.GOMAXPROCS(0)
 	}
@@ -163,6 +213,7 @@ func (s *Suite) SMVTh(y, x []float64, threads int) {
 // a private copy of y and a parallel reduction sums the copies. This
 // is the strategy Spark98 calls rmv.
 func (s *Suite) RMV(y, x []float64, threads int) {
+	s.record(KernelRMV, int64(2*s.Sym.EquivalentNNZ()))
 	if threads <= 0 {
 		threads = runtime.GOMAXPROCS(0)
 	}
@@ -229,6 +280,7 @@ func (s *Suite) RMV(y, x []float64, threads int) {
 // measure what Spark98 measured — that fine-grained locking is the
 // losing strategy for this access pattern.
 func (s *Suite) LockMV(y, x []float64, threads int) {
+	s.record(KernelLockMV, int64(2*s.Sym.EquivalentNNZ()))
 	if threads <= 0 {
 		threads = runtime.GOMAXPROCS(0)
 	}
