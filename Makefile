@@ -3,7 +3,13 @@
 GO ?= go
 BENCH_DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: all build vet test race bench bench-json ci repro examples clean
+.PHONY: all build vet test race bench bench-json bench-smoke ci repro examples clean
+
+# Benchmarks must run at the host's full width: a throttled GOMAXPROCS
+# makes every parallel benchmark meaningless (the PE goroutines
+# serialize), and the snapshot would record a number describing nothing.
+# Override with `make bench-json BENCH_PROCS=4` to study a fixed width.
+BENCH_PROCS ?= $(shell nproc)
 
 all: build vet test
 
@@ -20,18 +26,25 @@ race:
 	$(GO) test -race ./internal/obs/ ./internal/par/ ./internal/spark/
 
 # The gate CI runs: build + vet + full tests, plus the race detector on
-# the concurrency-heavy packages.
-ci: build vet test race
+# the concurrency-heavy packages, plus a one-iteration benchmark smoke
+# run so the kernel entry points cannot silently rot.
+ci: build vet test race bench-smoke
 
 # Regenerates every table/figure into results/ and records the raw
 # benchmark log (the EXPERIMENTS.md pipeline), then distills it into a
-# machine-readable BENCH_<date>.json for the perf trajectory.
+# machine-readable BENCH_<date>.json for the perf trajectory
+# (ns/op + B/op + allocs/op; see cmd/benchjson).
 bench: bench-json
 
 bench-json:
-	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+	GOMAXPROCS=$(BENCH_PROCS) $(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 	$(GO) run ./cmd/benchjson -in bench_output.txt -out BENCH_$(BENCH_DATE).json
 	@echo "wrote BENCH_$(BENCH_DATE).json"
+
+# Executes each distributed-kernel benchmark once (no timing fidelity):
+# a fast gate that the parallel SMVP entry points still run.
+bench-smoke:
+	$(GO) test -run='^$$' -bench='ParallelSMVP|OverlappedSMVP' -benchtime=1x -benchmem .
 
 # One-shot figure regeneration without the benchmark harness.
 repro:

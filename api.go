@@ -66,9 +66,14 @@ type (
 	NetworkConfig = machine.NetworkConfig
 	// Schedule is an explicit per-PE block-transfer plan.
 	Schedule = comm.Schedule
-	// Dist is the distributed SMVP operator run on goroutine PEs.
+	// Dist is the distributed SMVP operator run on persistent goroutine
+	// PEs: created once, the PEs and their exchange buffers are reused
+	// by every kernel call (zero steady-state allocations). Call Close
+	// to release the goroutines; see docs/PERFORMANCE.md.
 	Dist = par.Dist
 	// ParTiming holds the per-PE phase durations of a distributed SMVP.
+	// The kernels return a Dist-owned ParTiming that the next call
+	// overwrites — copy it to keep it.
 	ParTiming = par.Timing
 	// DistSim is the distributed time-stepping application.
 	DistSim = par.DistSim
@@ -214,6 +219,10 @@ type (
 	// solves (the implicit-method extension).
 	CGConfig = solver.Config
 	CGResult = solver.Result
+	// CGWorkspace preallocates the CG iteration vectors so repeated
+	// solves (an implicit time stepper) stop reallocating them; pass it
+	// via CGConfig.Workspace.
+	CGWorkspace = solver.Workspace
 	// ShiftedOperator is K + σ·diag(M), the SPD system an implicit
 	// method solves each step.
 	ShiftedOperator = solver.Shifted
@@ -226,6 +235,10 @@ func NewSparkSuite(k *BCSR) (*SparkSuite, error) { return spark.NewSuite(k) }
 func SolveCG(a solver.Operator, b, x []float64, cfg CGConfig) (*CGResult, error) {
 	return solver.CG(a, b, x, cfg)
 }
+
+// NewCGWorkspace preallocates a CG workspace for operators of scalar
+// dimension n (3·nodes for the stiffness operators).
+func NewCGWorkspace(n int) *CGWorkspace { return solver.NewWorkspace(n) }
 
 // AllReduceTime models the cost of a global reduction over p PEs — the
 // extra communication implicit methods add per dot product.

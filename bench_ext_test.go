@@ -129,12 +129,14 @@ func BenchmarkOverlappedSMVP(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer dist.Close()
 	x := make([]float64, 3*m.NumNodes())
 	y := make([]float64, 3*m.NumNodes())
 	for i := range x {
 		x[i] = float64(i%5) * 0.2
 	}
 	b.Run("phased", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := dist.SMVP(y, x); err != nil {
 				b.Fatal(err)
@@ -142,12 +144,64 @@ func BenchmarkOverlappedSMVP(b *testing.B) {
 		}
 	})
 	b.Run("overlapped", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := dist.SMVPOverlapped(y, x); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
+}
+
+// BenchmarkDistCGSolve measures one repeated implicit-method solve on
+// the persistent-PE runtime: every CG iteration applies the distributed
+// operator, and the reused solver workspace keeps the per-solve
+// allocations flat (one Result plus telemetry, independent of solves).
+func BenchmarkDistCGSolve(b *testing.B) {
+	m, err := quake.SF10.Mesh()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := quake.Assemble(m, quake.SanFernando())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pt, err := partition.PartitionMesh(m, 8, partition.RCB, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr, err := partition.Analyze(m, pt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dist, err := quake.NewDist(m, quake.SanFernando(), pt, pr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer dist.Close()
+	op := quake.DistOperator{D: dist, Shift: 20, MassNode: sys.MassNode}
+	n := op.Dim()
+	rhs := make([]float64, n)
+	rhs[3] = 1e2
+	x := make([]float64, n)
+	ws := quake.NewCGWorkspace(n)
+	var iters int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range x {
+			x[j] = 0
+		}
+		res, err := quake.SolveCG(op, rhs, x, quake.CGConfig{MaxIter: 2 * n, Tol: 1e-7, Workspace: ws})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Converged {
+			b.Fatal("CG did not converge")
+		}
+		iters = res.Iterations
+	}
+	b.ReportMetric(float64(iters), "iters/solve")
 }
 
 // BenchmarkAblationBlockSize sweeps the transfer-unit size: the same

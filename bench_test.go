@@ -506,11 +506,15 @@ func BenchmarkParallelSMVP(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			defer dist.Close()
 			x := make([]float64, 3*m.NumNodes())
 			y := make([]float64, 3*m.NumNodes())
 			for i := range x {
 				x[i] = float64(i%5) * 0.2
 			}
+			// The persistent-PE runtime's steady state is allocation-free;
+			// report it so BENCH_<date>.json pins the property.
+			b.ReportAllocs()
 			b.ResetTimer()
 			var tm *quake.ParTiming
 			for i := 0; i < b.N; i++ {

@@ -1,11 +1,13 @@
 // Command benchjson converts `go test -bench` output into a
-// machine-readable JSON file mapping benchmark name to ns/op, so the
-// repository's performance trajectory can be tracked commit over commit
-// (the `make bench-json` target writes BENCH_<date>.json this way).
+// machine-readable JSON file mapping benchmark name to ns/op — plus,
+// when the run used -benchmem, B/op and allocs/op — so the repository's
+// performance and allocation trajectory can be tracked commit over
+// commit (the `make bench-json` target writes BENCH_<date>.json this
+// way).
 //
 // Usage:
 //
-//	go test -bench=. ./... | benchjson -out BENCH_2026-08-05.json
+//	go test -bench=. -benchmem ./... | benchjson -out BENCH_2026-08-05.json
 //	benchjson -in bench_output.txt -out BENCH_2026-08-05.json
 package main
 
@@ -22,17 +24,32 @@ import (
 	"time"
 )
 
-// Report is the file's shape: run metadata plus name → ns/op.
+// Report is the file's shape: run metadata plus per-benchmark metrics.
+// GOMAXPROCS is the processor width the benchmarks themselves ran at,
+// recovered from the -N suffix go test appends to benchmark names (the
+// earlier behavior — recording benchjson's own GOMAXPROCS — said
+// nothing about the run being described). NumCPU records the host
+// width so a throttled run is visible.
 type Report struct {
-	Date       string             `json:"date"`
-	GoVersion  string             `json:"go_version"`
-	GOMAXPROCS int                `json:"gomaxprocs"`
-	NsPerOp    map[string]float64 `json:"ns_per_op"`
+	Date        string             `json:"date"`
+	GoVersion   string             `json:"go_version"`
+	NumCPU      int                `json:"num_cpu"`
+	GOMAXPROCS  int                `json:"gomaxprocs"`
+	NsPerOp     map[string]float64 `json:"ns_per_op"`
+	BytesPerOp  map[string]float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp map[string]float64 `json:"allocs_per_op,omitempty"`
 }
 
 // benchLine matches one benchmark result line, e.g.
-// "BenchmarkDistMulVec-8   100   123456 ns/op   64 B/op".
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// "BenchmarkDistMulVec-8   100   123456 ns/op   64 B/op   2 allocs/op",
+// capturing the name, the GOMAXPROCS suffix, ns/op, and the rest.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+
+// memCols matches the -benchmem columns in a result line's tail.
+var (
+	bytesCol  = regexp.MustCompile(`([0-9.]+) B/op`)
+	allocsCol = regexp.MustCompile(`([0-9.]+) allocs/op`)
+)
 
 func main() {
 	in := flag.String("in", "", "input file (default: stdin)")
@@ -77,13 +94,17 @@ func run(inPath, outPath string) error {
 }
 
 // parse scans benchmark output. When the same benchmark appears more
-// than once (several packages, -count>1), the last result wins.
+// than once (several packages, -count>1), the last result wins. The
+// report's GOMAXPROCS is the widest -N suffix seen, falling back to
+// this process's setting when the output carries no suffix.
 func parse(r io.Reader) (*Report, error) {
 	rep := &Report{
-		Date:       time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		NsPerOp:    make(map[string]float64),
+		Date:        time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		NsPerOp:     make(map[string]float64),
+		BytesPerOp:  make(map[string]float64),
+		AllocsPerOp: make(map[string]float64),
 	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
@@ -92,11 +113,33 @@ func parse(r io.Reader) (*Report, error) {
 		if m == nil {
 			continue
 		}
-		ns, err := strconv.ParseFloat(m[2], 64)
+		ns, err := strconv.ParseFloat(m[3], 64)
 		if err != nil {
 			continue
 		}
 		rep.NsPerOp[m[1]] = ns
+		if procs, err := strconv.Atoi(m[2]); err == nil && procs > rep.GOMAXPROCS {
+			rep.GOMAXPROCS = procs
+		}
+		if bm := bytesCol.FindStringSubmatch(m[4]); bm != nil {
+			if v, err := strconv.ParseFloat(bm[1], 64); err == nil {
+				rep.BytesPerOp[m[1]] = v
+			}
+		}
+		if am := allocsCol.FindStringSubmatch(m[4]); am != nil {
+			if v, err := strconv.ParseFloat(am[1], 64); err == nil {
+				rep.AllocsPerOp[m[1]] = v
+			}
+		}
+	}
+	if rep.GOMAXPROCS == 0 {
+		rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	}
+	if len(rep.BytesPerOp) == 0 {
+		rep.BytesPerOp = nil
+	}
+	if len(rep.AllocsPerOp) == 0 {
+		rep.AllocsPerOp = nil
 	}
 	return rep, sc.Err()
 }

@@ -41,6 +41,37 @@ func TestParse(t *testing.T) {
 	if rep.GoVersion == "" || rep.Date == "" {
 		t.Error("missing run metadata")
 	}
+	if rep.GOMAXPROCS != 8 {
+		t.Errorf("GOMAXPROCS = %d, want 8 (from the -8 name suffix)", rep.GOMAXPROCS)
+	}
+	if rep.NumCPU <= 0 {
+		t.Errorf("NumCPU = %d, want > 0", rep.NumCPU)
+	}
+	if got := rep.BytesPerOp["BenchmarkDistMulVec"]; got != 64 {
+		t.Errorf("BytesPerOp = %v, want 64", got)
+	}
+	if got := rep.AllocsPerOp["BenchmarkDistMulVec"]; got != 2 {
+		t.Errorf("AllocsPerOp = %v, want 2", got)
+	}
+	if _, ok := rep.AllocsPerOp["BenchmarkFig7Properties"]; ok {
+		t.Error("allocs recorded for a line without -benchmem columns")
+	}
+}
+
+// TestParseNoSuffix: output from a GOMAXPROCS=1 run has no -N suffix;
+// the report then falls back to this process's setting rather than
+// recording zero.
+func TestParseNoSuffix(t *testing.T) {
+	rep, err := parse(strings.NewReader("BenchmarkX \t 10 \t 100 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GOMAXPROCS <= 0 {
+		t.Errorf("GOMAXPROCS = %d, want positive fallback", rep.GOMAXPROCS)
+	}
+	if rep.BytesPerOp != nil || rep.AllocsPerOp != nil {
+		t.Error("memory maps should be omitted when no -benchmem columns exist")
+	}
 }
 
 func TestRunEndToEnd(t *testing.T) {

@@ -234,6 +234,7 @@ func measuredPass(s quake.Scenario, pes int) error {
 	if err != nil {
 		return err
 	}
+	defer dist.Close()
 	x := make([]float64, 3*m.NumNodes())
 	for i := range x {
 		x[i] = float64(i%11) * 0.1

@@ -134,6 +134,7 @@ func run(name string, steps, pes int, seisPath, tracePath, metricsPath string) e
 	if err != nil {
 		return err
 	}
+	defer dist.Close()
 	x := make([]float64, 3*m.NumNodes())
 	for i := range x {
 		x[i] = float64(i%11) * 0.1

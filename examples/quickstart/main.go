@@ -60,6 +60,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer dist.Close()
 	x := make([]float64, 3*m.NumNodes())
 	for i := range x {
 		x[i] = float64(i%5) * 0.3

@@ -141,12 +141,105 @@ func (s *DistSim) Run(coords []geom.Vec3, cfg fem.SimConfig) (*DistSimResult, er
 	computeAcc := make([]time.Duration, d.P)
 	exchangeAcc := make([]time.Duration, d.P)
 	updateAcc := make([]time.Duration, d.P)
-	mail := make([][][]float64, d.P)
-	for pe := 0; pe < d.P; pe++ {
-		mail[pe] = make([][]float64, len(d.Neighbors[pe]))
+
+	// One body drives a whole step on the persistent PEs: local SMVP,
+	// post into the runtime's preallocated send buffers, phase barrier,
+	// receive, replica update. The coordinator dispatches it once per
+	// step (no goroutine spawns, no per-step allocations); fx/fy/fz are
+	// refreshed between dispatches, which are full synchronization
+	// points. The closure below is created once per Run.
+	rt := d.rt
+	var fx, fy, fz float64
+	stepBody := func(pe int) {
+		// Computation phase: local SMVP.
+		sp := obs.StartSpanPE("compute", "par.step.compute", pe)
+		t0 := time.Now()
+		d.K[pe].MulVec(ku[pe], u[pe])
+		computeAcc[pe] += time.Since(t0)
+		sp.End()
+
+		// Communication phase: exchange and sum partial K·u.
+		ws := &rt.ws[pe]
+		sp = obs.StartSpanPE("exchange", "par.step.post", pe)
+		t0 = time.Now()
+		var sent int64
 		for k, locals := range d.Shared[pe] {
-			mail[pe][k] = make([]float64, 3*len(locals))
+			buf := ws.send[k]
+			for sIdx, l := range locals {
+				copy(buf[3*sIdx:3*sIdx+3], ku[pe][3*l:3*l+3])
+			}
+			sent += bytesPerSharedNode * int64(len(locals))
 		}
+		exchangeAcc[pe] += time.Since(t0)
+		rt.met.exchBytes[pe].Add(sent)
+		rt.met.exchMsgs.Add(int64(len(d.Shared[pe])))
+		sp.End()
+
+		// All posts must be visible before anyone reads them.
+		rt.bar.await()
+
+		sp = obs.StartSpanPE("exchange", "par.step.recv", pe)
+		t0 = time.Now()
+		var recvd int64
+		for k, nbr := range d.Neighbors[pe] {
+			buf := rt.ws[nbr].send[ws.rev[k]]
+			locals := d.Shared[pe][k]
+			for sIdx, l := range locals {
+				ku[pe][3*l] += buf[3*sIdx]
+				ku[pe][3*l+1] += buf[3*sIdx+1]
+				ku[pe][3*l+2] += buf[3*sIdx+2]
+			}
+			recvd += bytesPerSharedNode * int64(len(locals))
+		}
+		exchangeAcc[pe] += time.Since(t0)
+		rt.met.exchBytes[pe].Add(recvd)
+		sp.End()
+
+		// Update phase: identical on every replica; touches only this
+		// PE's u/v/ku, so no barrier is needed after the receive.
+		sp = obs.StartSpanPE("update", "par.step.update", pe)
+		t0 = time.Now()
+		nloc := len(d.Nodes[pe])
+		for i := 0; i < nloc; i++ {
+			invM := 1 / s.Mass[pe][i]
+			var rhs [3]float64
+			for dd := 0; dd < 3; dd++ {
+				k := 3*i + dd
+				f := -ku[pe][k]
+				if srcLocal[pe] == int32(i) {
+					switch dd {
+					case 0:
+						f += fx
+					case 1:
+						f += fy
+					default:
+						f += fz
+					}
+				}
+				rhs[dd] = v[pe][k] + cfg.Dt*(invM*f-cfg.Damping*v[pe][k])
+			}
+			if cfg.Absorbers != nil {
+				blk := &s.dampers[pe][i]
+				if blk[0] != 0 || blk[4] != 0 || blk[8] != 0 {
+					var a [9]float64
+					sc := cfg.Dt * invM
+					for p := 0; p < 9; p++ {
+						a[p] = sc * blk[p]
+					}
+					a[0] += 1
+					a[4] += 1
+					a[8] += 1
+					rhs = solve3(&a, rhs)
+				}
+			}
+			for dd := 0; dd < 3; dd++ {
+				k := 3*i + dd
+				v[pe][k] = rhs[dd]
+				u[pe][k] += cfg.Dt * v[pe][k]
+			}
+		}
+		updateAcc[pe] += time.Since(t0)
+		sp.End()
 	}
 
 	obs.GetCounter("par.distsim.steps").Add(int64(cfg.Steps))
@@ -155,103 +248,14 @@ func (s *DistSim) Run(coords []geom.Vec3, cfg fem.SimConfig) (*DistSimResult, er
 	for step := 0; step < cfg.Steps; step++ {
 		t := float64(step) * cfg.Dt
 		amp := cfg.Source.Amplitude * fem.Ricker(t, cfg.Source.PeakFreq, cfg.Source.Delay)
-		fx, fy, fz := amp*dir.X, amp*dir.Y, amp*dir.Z
+		fx, fy, fz = amp*dir.X, amp*dir.Y, amp*dir.Z
 
-		// Computation phase: local SMVP.
-		parallelFor(d.P, func(pe int) {
-			sp := obs.StartSpanPE("compute", "par.step.compute", pe)
-			t0 := time.Now()
-			d.K[pe].MulVec(ku[pe], u[pe])
-			computeAcc[pe] += time.Since(t0)
-			sp.End()
-		})
+		if err := rt.run(stepBody); err != nil {
+			return nil, err
+		}
 		for pe := 0; pe < d.P; pe++ {
 			flops += int64(2 * d.K[pe].NNZ())
 		}
-
-		// Communication phase: exchange and sum partial K·u.
-		parallelFor(d.P, func(pe int) {
-			sp := obs.StartSpanPE("exchange", "par.step.post", pe)
-			t0 := time.Now()
-			var sent int64
-			for k, locals := range d.Shared[pe] {
-				buf := mail[pe][k]
-				for sIdx, l := range locals {
-					copy(buf[3*sIdx:3*sIdx+3], ku[pe][3*l:3*l+3])
-				}
-				sent += bytesPerSharedNode * int64(len(locals))
-			}
-			exchangeAcc[pe] += time.Since(t0)
-			d.met.exchBytes[pe].Add(sent)
-			d.met.exchMsgs.Add(int64(len(d.Shared[pe])))
-			sp.End()
-		})
-		parallelFor(d.P, func(pe int) {
-			sp := obs.StartSpanPE("exchange", "par.step.recv", pe)
-			t0 := time.Now()
-			var recvd int64
-			for k, nbr := range d.Neighbors[pe] {
-				rev := indexOf(d.Neighbors[nbr], int32(pe))
-				buf := mail[nbr][rev]
-				locals := d.Shared[pe][k]
-				for sIdx, l := range locals {
-					ku[pe][3*l] += buf[3*sIdx]
-					ku[pe][3*l+1] += buf[3*sIdx+1]
-					ku[pe][3*l+2] += buf[3*sIdx+2]
-				}
-				recvd += bytesPerSharedNode * int64(len(locals))
-			}
-			exchangeAcc[pe] += time.Since(t0)
-			d.met.exchBytes[pe].Add(recvd)
-			sp.End()
-		})
-
-		// Update phase: identical on every replica.
-		parallelFor(d.P, func(pe int) {
-			sp := obs.StartSpanPE("update", "par.step.update", pe)
-			t0 := time.Now()
-			nloc := len(d.Nodes[pe])
-			for i := 0; i < nloc; i++ {
-				invM := 1 / s.Mass[pe][i]
-				var rhs [3]float64
-				for dd := 0; dd < 3; dd++ {
-					k := 3*i + dd
-					f := -ku[pe][k]
-					if srcLocal[pe] == int32(i) {
-						switch dd {
-						case 0:
-							f += fx
-						case 1:
-							f += fy
-						default:
-							f += fz
-						}
-					}
-					rhs[dd] = v[pe][k] + cfg.Dt*(invM*f-cfg.Damping*v[pe][k])
-				}
-				if cfg.Absorbers != nil {
-					blk := &s.dampers[pe][i]
-					if blk[0] != 0 || blk[4] != 0 || blk[8] != 0 {
-						var a [9]float64
-						sc := cfg.Dt * invM
-						for p := 0; p < 9; p++ {
-							a[p] = sc * blk[p]
-						}
-						a[0] += 1
-						a[4] += 1
-						a[8] += 1
-						rhs = solve3(&a, rhs)
-					}
-				}
-				for dd := 0; dd < 3; dd++ {
-					k := 3*i + dd
-					v[pe][k] = rhs[dd]
-					u[pe][k] += cfg.Dt * v[pe][k]
-				}
-			}
-			updateAcc[pe] += time.Since(t0)
-			sp.End()
-		})
 
 		for i, r := range rcvs {
 			k := 3 * int(r.local)

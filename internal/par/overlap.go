@@ -2,7 +2,6 @@ package par
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
 	"repro/internal/obs"
@@ -15,116 +14,100 @@ import (
 // messages are in flight, and only then waits for incoming partials.
 // Interior computation hides the exchange.
 //
-// Unlike SMVP, which runs phase-by-phase on a worker pool with implicit
-// barriers, this variant runs one goroutine per PE with buffered
-// channels, because the whole point is that PEs proceed independently
-// between the boundary computation and the receive.
+// Unlike the phased SMVP, whose PEs meet at a barrier between the
+// computation and exchange phases, this variant lets PEs proceed
+// independently between the boundary computation and the receive: the
+// only cross-PE synchronization is the preallocated per-neighbor ready
+// channel signaled when a message buffer is complete. The kernel runs
+// on the same persistent PEs and workspaces as SMVP — no goroutines
+// are spawned and nothing is allocated in steady state.
 //
 // The returned Timing attributes boundary+interior work to Compute and
-// post+receive (including any wait) to Comm.
+// post+receive (including any wait) to Comm; like SMVP's, it is owned
+// by the Dist and overwritten by the next kernel call.
 func (d *Dist) SMVPOverlapped(y, x []float64) (*Timing, error) {
 	if len(x) != 3*d.GlobalNodes || len(y) != 3*d.GlobalNodes {
 		return nil, fmt.Errorf("par: SMVPOverlapped needs vectors of length %d, got %d/%d",
 			3*d.GlobalNodes, len(x), len(y))
 	}
-	tm := &Timing{
-		Compute: make([]time.Duration, d.P),
-		Comm:    make([]time.Duration, d.P),
+	d.rt.met.smvps.Add(1)
+	return d.rt.runKernel(d.rt.overlapBody, y, x)
+}
+
+// overlappedPE is the per-PE body of the overlapped kernel. Message
+// delivery is the ready-channel signal: the receiver then reads the
+// sender's buffer in place. Each directed pair carries exactly one
+// message per invocation and every receive is drained before the done
+// barrier, so the capacity-1 channels and the send buffers are clean
+// for reuse by the next kernel.
+func (rt *peRuntime) overlappedPE(pe int) {
+	ws := &rt.ws[pe]
+	nodes := rt.nodes[pe]
+	x, y := rt.x, rt.y
+	for l, g := range nodes {
+		copy(ws.x[3*l:3*l+3], x[3*g:3*g+3])
 	}
-	// in[i][k] carries the buffer from Neighbors[i][k] to PE i.
-	in := make([][]chan []float64, d.P)
-	for i := 0; i < d.P; i++ {
-		in[i] = make([]chan []float64, len(d.Neighbors[i]))
-		for k := range in[i] {
-			in[i][k] = make(chan []float64, 1)
+
+	// Boundary rows first.
+	sp := obs.StartSpanPE("compute", "par.overlap.boundary", pe)
+	t0 := time.Now()
+	rt.k[pe].MulVecRows(ws.y, ws.x, rt.boundary[pe])
+	boundaryDur := time.Since(t0)
+	sp.End()
+
+	// Post partials while interior work remains.
+	sp = obs.StartSpanPE("exchange", "par.overlap.post", pe)
+	t0 = time.Now()
+	var sent int64
+	for k, locals := range rt.shared[pe] {
+		buf := ws.send[k]
+		for s, l := range locals {
+			copy(buf[3*s:3*s+3], ws.y[3*l:3*l+3])
 		}
+		rt.ws[rt.neighbors[pe][k]].ready[ws.rev[k]] <- struct{}{}
+		n := bytesPerSharedNode * int64(len(locals))
+		sent += n
+		rt.met.msgBytes.Observe(n)
 	}
-	// Reverse index: revIdx[i][k] is PE i's position in the neighbor
-	// list of Neighbors[i][k].
-	revIdx := make([][]int, d.P)
-	for i := 0; i < d.P; i++ {
-		revIdx[i] = make([]int, len(d.Neighbors[i]))
-		for k, nbr := range d.Neighbors[i] {
-			revIdx[i][k] = indexOf(d.Neighbors[nbr], int32(i))
+	postDur := time.Since(t0)
+	rt.met.exchBytes[pe].Add(sent)
+	rt.met.exchMsgs.Add(int64(len(rt.shared[pe])))
+	sp.End()
+
+	// Interior rows overlap the exchange.
+	sp = obs.StartSpanPE("compute", "par.overlap.interior", pe)
+	t0 = time.Now()
+	rt.k[pe].MulVecRows(ws.y, ws.x, rt.interior[pe])
+	interiorDur := time.Since(t0)
+	sp.End()
+
+	// Receive and accumulate.
+	sp = obs.StartSpanPE("exchange", "par.overlap.recv", pe)
+	t0 = time.Now()
+	var recvd int64
+	for k, nbr := range rt.neighbors[pe] {
+		<-ws.ready[k]
+		buf := rt.ws[nbr].send[ws.rev[k]]
+		locals := rt.shared[pe][k]
+		for s, l := range locals {
+			ws.y[3*l] += buf[3*s]
+			ws.y[3*l+1] += buf[3*s+1]
+			ws.y[3*l+2] += buf[3*s+2]
 		}
+		recvd += bytesPerSharedNode * int64(len(locals))
 	}
+	recvDur := time.Since(t0)
+	rt.met.exchBytes[pe].Add(recvd)
+	sp.End()
 
-	d.met.smvps.Add(1)
-	var wg sync.WaitGroup
-	wg.Add(d.P)
-	for pe := 0; pe < d.P; pe++ {
-		go func(pe int) {
-			defer wg.Done()
-			nodes := d.Nodes[pe]
-			xl := make([]float64, 3*len(nodes))
-			for l, g := range nodes {
-				copy(xl[3*l:3*l+3], x[3*g:3*g+3])
-			}
-			yl := make([]float64, 3*len(nodes))
-
-			// Boundary rows first.
-			sp := obs.StartSpanPE("compute", "par.overlap.boundary", pe)
-			t0 := time.Now()
-			d.K[pe].MulVecRows(yl, xl, d.Boundary[pe])
-			boundaryDur := time.Since(t0)
-			sp.End()
-
-			// Post partials while interior work remains.
-			sp = obs.StartSpanPE("exchange", "par.overlap.post", pe)
-			t0 = time.Now()
-			var sent int64
-			for k, locals := range d.Shared[pe] {
-				buf := make([]float64, 3*len(locals))
-				for s, l := range locals {
-					copy(buf[3*s:3*s+3], yl[3*l:3*l+3])
-				}
-				in[d.Neighbors[pe][k]][revIdx[pe][k]] <- buf
-				n := bytesPerSharedNode * int64(len(locals))
-				sent += n
-				d.met.msgBytes.Observe(n)
-			}
-			postDur := time.Since(t0)
-			d.met.exchBytes[pe].Add(sent)
-			d.met.exchMsgs.Add(int64(len(d.Shared[pe])))
-			sp.End()
-
-			// Interior rows overlap the exchange.
-			sp = obs.StartSpanPE("compute", "par.overlap.interior", pe)
-			t0 = time.Now()
-			d.K[pe].MulVecRows(yl, xl, d.Interior[pe])
-			interiorDur := time.Since(t0)
-			sp.End()
-
-			// Receive and accumulate.
-			sp = obs.StartSpanPE("exchange", "par.overlap.recv", pe)
-			t0 = time.Now()
-			var recvd int64
-			for k := range d.Neighbors[pe] {
-				buf := <-in[pe][k]
-				locals := d.Shared[pe][k]
-				for s, l := range locals {
-					yl[3*l] += buf[3*s]
-					yl[3*l+1] += buf[3*s+1]
-					yl[3*l+2] += buf[3*s+2]
-				}
-				recvd += bytesPerSharedNode * int64(len(locals))
-			}
-			recvDur := time.Since(t0)
-			d.met.exchBytes[pe].Add(recvd)
-			sp.End()
-
-			for l, g := range nodes {
-				if d.Owner[g] != int32(pe) {
-					continue
-				}
-				copy(y[3*g:3*g+3], yl[3*l:3*l+3])
-			}
-			tm.Compute[pe] = boundaryDur + interiorDur
-			tm.Comm[pe] = postDur + recvDur
-		}(pe)
+	for l, g := range nodes {
+		if rt.owner[g] != int32(pe) {
+			continue
+		}
+		copy(y[3*g:3*g+3], ws.y[3*l:3*l+3])
 	}
-	wg.Wait()
-	return tm, nil
+	rt.tm.Compute[pe] = boundaryDur + interiorDur
+	rt.tm.Comm[pe] = postDur + recvDur
 }
 
 // BoundaryFraction returns, for each PE, the fraction of its local

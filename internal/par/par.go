@@ -12,7 +12,6 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
 	"time"
 
 	"repro/internal/fem"
@@ -51,10 +50,11 @@ type Dist struct {
 	Boundary [][]int32
 	Interior [][]int32
 
-	// met holds the operator's telemetry handles, resolved once here so
-	// the SMVP hot path performs only atomic adds (which no-op while
-	// obs is disabled).
-	met distMetrics
+	// rt is the persistent-PE runtime: the long-lived goroutine PEs,
+	// their preallocated workspaces, and the operator's telemetry
+	// handles (resolved once so the SMVP hot path performs only atomic
+	// adds, which no-op while obs is disabled). See runtime.go.
+	rt *peRuntime
 }
 
 // distMetrics are the telemetry handles of one distributed operator.
@@ -218,9 +218,20 @@ func NewDist(m *mesh.Mesh, mat *material.Model, pt *partition.Partition, pr *par
 			}
 		}
 	}
-	d.met = newDistMetrics(p)
+	d.rt = newPERuntime(d)
+	// Safety net for callers that drop a Dist without Close: the PE
+	// goroutines reference only d.rt, never d itself, so d can become
+	// unreachable and the finalizer then parks the runtime. Explicit
+	// Close remains the deterministic path.
+	runtime.SetFinalizer(d, (*Dist).Close)
 	return d, nil
 }
+
+// Close shuts down the persistent PE goroutines. It is idempotent and
+// safe to call concurrently with kernels (in-flight calls finish;
+// subsequent calls return an error). A Dist that is never closed holds
+// P parked goroutines and its workspaces until it is garbage collected.
+func (d *Dist) Close() { d.rt.close() }
 
 // Timing reports per-PE phase durations of one distributed SMVP.
 type Timing struct {
@@ -246,100 +257,95 @@ func maxDur(ds []time.Duration) time.Duration {
 
 // SMVP computes y = K·x with the distributed operator: scatter x,
 // parallel local SMVPs, barrier, partial-sum exchange, gather. x and y
-// are global vectors of length 3·GlobalNodes. The returned Timing holds
-// the per-PE phase durations of this invocation.
+// are global vectors of length 3·GlobalNodes.
+//
+// The kernel runs on the Dist's persistent PEs against preallocated
+// workspaces: in steady state it allocates nothing and spawns no
+// goroutines. The returned Timing (per-PE phase durations of this
+// invocation) is owned by the Dist and overwritten by the next kernel
+// call — copy it if it must survive.
 func (d *Dist) SMVP(y, x []float64) (*Timing, error) {
 	if len(x) != 3*d.GlobalNodes || len(y) != 3*d.GlobalNodes {
 		return nil, fmt.Errorf("par: SMVP needs vectors of length %d, got %d/%d",
 			3*d.GlobalNodes, len(x), len(y))
 	}
-	tm := &Timing{
-		Compute: make([]time.Duration, d.P),
-		Comm:    make([]time.Duration, d.P),
+	d.rt.met.smvps.Add(1)
+	return d.rt.runKernel(d.rt.phasedBody, y, x)
+}
+
+// phasedPE is the per-PE body of the phased SMVP: scatter and local
+// multiply, post partial sums into the PE's own send buffers, cross the
+// phase barrier (the synchronization point separating the computation
+// phase from the exchange), then read the neighbors' buffers in place
+// and accumulate. Scatter and gather are untimed, as before:
+// distribution of x is part of the surrounding application, which
+// keeps x resident.
+func (rt *peRuntime) phasedPE(pe int) {
+	ws := &rt.ws[pe]
+	nodes := rt.nodes[pe]
+	x, y := rt.x, rt.y
+	for l, g := range nodes {
+		copy(ws.x[3*l:3*l+3], x[3*g:3*g+3])
 	}
-	xloc := make([][]float64, d.P)
-	yloc := make([][]float64, d.P)
-	// mail[i][k] is the buffer sent by PE i to its k-th neighbor.
-	mail := make([][][]float64, d.P)
-
-	// Scatter phase (not timed: distribution of x is part of the
-	// surrounding application, which keeps x resident).
-	parallelFor(d.P, func(pe int) {
-		nodes := d.Nodes[pe]
-		xl := make([]float64, 3*len(nodes))
-		for l, g := range nodes {
-			copy(xl[3*l:3*l+3], x[3*g:3*g+3])
-		}
-		xloc[pe] = xl
-		yloc[pe] = make([]float64, 3*len(nodes))
-		mail[pe] = make([][]float64, len(d.Neighbors[pe]))
-	})
-
-	d.met.smvps.Add(1)
 
 	// Computation phase.
-	parallelFor(d.P, func(pe int) {
-		sp := obs.StartSpanPE("compute", "par.smvp.compute", pe)
-		start := time.Now()
-		d.K[pe].MulVec(yloc[pe], xloc[pe])
-		tm.Compute[pe] = time.Since(start)
-		sp.End()
-	})
+	sp := obs.StartSpanPE("compute", "par.smvp.compute", pe)
+	start := time.Now()
+	rt.k[pe].MulVec(ws.y, ws.x)
+	rt.tm.Compute[pe] = time.Since(start)
+	sp.End()
 
-	// Communication phase, step 1: post partial sums for each neighbor.
-	parallelFor(d.P, func(pe int) {
-		sp := obs.StartSpanPE("exchange", "par.smvp.post", pe)
-		start := time.Now()
-		var sent int64
-		for k, locals := range d.Shared[pe] {
-			buf := make([]float64, 3*len(locals))
-			for s, l := range locals {
-				copy(buf[3*s:3*s+3], yloc[pe][3*l:3*l+3])
-			}
-			mail[pe][k] = buf
-			n := bytesPerSharedNode * int64(len(locals))
-			sent += n
-			d.met.msgBytes.Observe(n)
+	// Communication phase, step 1: post partial sums for each neighbor
+	// into this PE's own send buffers.
+	sp = obs.StartSpanPE("exchange", "par.smvp.post", pe)
+	start = time.Now()
+	var sent int64
+	for k, locals := range rt.shared[pe] {
+		buf := ws.send[k]
+		for s, l := range locals {
+			copy(buf[3*s:3*s+3], ws.y[3*l:3*l+3])
 		}
-		tm.Comm[pe] = time.Since(start)
-		d.met.exchBytes[pe].Add(sent)
-		d.met.exchMsgs.Add(int64(len(d.Shared[pe])))
-		sp.End()
-	})
+		n := bytesPerSharedNode * int64(len(locals))
+		sent += n
+		rt.met.msgBytes.Observe(n)
+	}
+	rt.tm.Comm[pe] = time.Since(start)
+	rt.met.exchBytes[pe].Add(sent)
+	rt.met.exchMsgs.Add(int64(len(rt.shared[pe])))
+	sp.End()
 
-	// Communication phase, step 2: receive and accumulate. Neighbor
-	// lists are symmetric, so PE pe is neighbor index revIdx on the
-	// other side.
-	parallelFor(d.P, func(pe int) {
-		sp := obs.StartSpanPE("exchange", "par.smvp.recv", pe)
-		start := time.Now()
-		var recvd int64
-		for k, nbr := range d.Neighbors[pe] {
-			rev := indexOf(d.Neighbors[nbr], int32(pe))
-			buf := mail[nbr][rev]
-			locals := d.Shared[pe][k]
-			for s, l := range locals {
-				yloc[pe][3*l] += buf[3*s]
-				yloc[pe][3*l+1] += buf[3*s+1]
-				yloc[pe][3*l+2] += buf[3*s+2]
-			}
-			recvd += bytesPerSharedNode * int64(len(locals))
+	// Every post must be visible before any PE reads its neighbors'
+	// buffers; the barrier wait itself is not attributed to Comm (the
+	// pre-runtime kernel's pool barrier was likewise uncounted).
+	rt.bar.await()
+
+	// Communication phase, step 2: receive and accumulate, reading the
+	// neighbors' send buffers in place (rev locates the buffer destined
+	// for this PE on the other side).
+	sp = obs.StartSpanPE("exchange", "par.smvp.recv", pe)
+	start = time.Now()
+	var recvd int64
+	for k, nbr := range rt.neighbors[pe] {
+		buf := rt.ws[nbr].send[ws.rev[k]]
+		locals := rt.shared[pe][k]
+		for s, l := range locals {
+			ws.y[3*l] += buf[3*s]
+			ws.y[3*l+1] += buf[3*s+1]
+			ws.y[3*l+2] += buf[3*s+2]
 		}
-		tm.Comm[pe] += time.Since(start)
-		d.met.exchBytes[pe].Add(recvd)
-		sp.End()
-	})
+		recvd += bytesPerSharedNode * int64(len(locals))
+	}
+	rt.tm.Comm[pe] += time.Since(start)
+	rt.met.exchBytes[pe].Add(recvd)
+	sp.End()
 
 	// Gather phase: owners write their nodes' results.
-	parallelFor(d.P, func(pe int) {
-		for l, g := range d.Nodes[pe] {
-			if d.Owner[g] != int32(pe) {
-				continue
-			}
-			copy(y[3*g:3*g+3], yloc[pe][3*l:3*l+3])
+	for l, g := range nodes {
+		if rt.owner[g] != int32(pe) {
+			continue
 		}
-	})
-	return tm, nil
+		copy(y[3*g:3*g+3], ws.y[3*l:3*l+3])
+	}
 }
 
 // FlopsPerPE returns the flop count of each PE's local SMVP (2 flops
@@ -361,31 +367,6 @@ func indexOf(s []int32, v int32) int {
 		return lo
 	}
 	return -1
-}
-
-// parallelFor runs body(0..n-1) on up to GOMAXPROCS goroutines and
-// waits for all of them (an implicit barrier).
-func parallelFor(n int, body func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				body(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
 }
 
 // MeasureTf times repeated local SMVPs on the host and returns the

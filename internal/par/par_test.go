@@ -57,6 +57,7 @@ func (f *fixture) dist(t testing.TB, p int, method partition.Method) (*Dist, *pa
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(d.Close)
 	return d, pr
 }
 

@@ -1,0 +1,235 @@
+package par
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/sparse"
+)
+
+// This file is the persistent-PE execution engine. The paper's workload
+// is one kernel — y = Kx — executed thousands of times, so the runtime
+// is built around steady-state reuse: the PE goroutines are created
+// once per Dist and parked on a generation barrier between kernels, and
+// every buffer a kernel needs (local vectors, per-neighbor exchange
+// buffers, the reverse-neighbor index, the Timing report) is allocated
+// once at construction. After the first call, a distributed SMVP
+// performs zero heap allocations and zero goroutine spawns; see
+// docs/PERFORMANCE.md for the design rationale and the reuse rules.
+
+// errClosed is returned by kernels invoked after Dist.Close.
+var errClosed = errors.New("par: Dist has been closed")
+
+// barrier is a reusable generation (sense-reversing) barrier for n
+// parties: await blocks until all n have arrived, releases them, and
+// resets for the next round. The mutex/cond pair both parks waiters
+// (PEs may outnumber OS threads by far) and provides the happens-before
+// edge that lets PEs read each other's buffers after a crossing without
+// any further synchronization.
+type barrier struct {
+	mu    sync.Mutex
+	cond  sync.Cond
+	n     int
+	count int
+	gen   uint64
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond.L = &b.mu
+	return b
+}
+
+// await arrives at the barrier and blocks until the round completes.
+// It performs no heap allocations.
+func (b *barrier) await() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.mu.Unlock()
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// peWorkspace is the preallocated private state of one persistent PE.
+// Buffer ownership rule: a PE writes only its own x/y/send buffers;
+// neighbors read send[k] strictly after a synchronization point (the
+// phase barrier in the phased kernel and integrator, the ready channel
+// in the overlapped kernel).
+type peWorkspace struct {
+	// x, y are the PE's local vectors (3·len(nodes) scalars).
+	x, y []float64
+	// send[k] carries this PE's partial sums for neighbor k
+	// (3·len(shared[k]) scalars). Receivers read it in place — the
+	// runtime never copies a message twice.
+	send [][]float64
+	// rev[k] is this PE's position in neighbor k's neighbor list, so
+	// the receive side can locate the buffer destined for it without a
+	// per-call binary search.
+	rev []int
+	// ready[k] is signaled (capacity-1, preallocated) by neighbor k
+	// when its buffer for this PE is complete; only the overlapped
+	// kernel uses it, the phased paths synchronize on the barrier.
+	ready []chan struct{}
+}
+
+// peRuntime owns one Dist's long-lived PE goroutines, their
+// workspaces, and the dispatch machinery. PE goroutines reference only
+// the runtime — never the Dist — so a finalizer on the Dist can shut
+// the runtime down when callers forget Close.
+type peRuntime struct {
+	p int
+
+	// Topology, shared (slice headers) with the owning Dist.
+	nodes     [][]int32
+	k         []*sparse.BCSR
+	neighbors [][]int32
+	shared    [][][]int32
+	owner     []int32
+	boundary  [][]int32
+	interior  [][]int32
+
+	met distMetrics
+	ws  []peWorkspace
+
+	// Dispatch: run publishes body under the dispatch mutex, crosses
+	// start (p+1 parties) to release the PEs, and crosses done when
+	// they finish. The mutex serializes kernels, which is the Dist
+	// concurrency contract: concurrent calls are safe and execute one
+	// at a time.
+	dispatch sync.Mutex
+	start    *barrier
+	done     *barrier
+	// bar separates intra-kernel phases (post | recv) among the p PEs.
+	bar  *barrier
+	body func(pe int)
+
+	// In-flight kernel arguments and the reused Timing report. tm is
+	// overwritten by the next kernel invocation on this Dist.
+	x, y []float64
+	tm   Timing
+
+	// Kernel bodies, bound once so dispatching allocates nothing.
+	phasedBody  func(pe int)
+	overlapBody func(pe int)
+
+	closeOnce sync.Once
+	closed    bool // guarded by dispatch
+}
+
+// newPERuntime builds the workspaces from the Dist's exchange lists and
+// starts the persistent PE goroutines.
+func newPERuntime(d *Dist) *peRuntime {
+	rt := &peRuntime{
+		p:         d.P,
+		nodes:     d.Nodes,
+		k:         d.K,
+		neighbors: d.Neighbors,
+		shared:    d.Shared,
+		owner:     d.Owner,
+		boundary:  d.Boundary,
+		interior:  d.Interior,
+		met:       newDistMetrics(d.P),
+		ws:        make([]peWorkspace, d.P),
+		start:     newBarrier(d.P + 1),
+		done:      newBarrier(d.P + 1),
+		bar:       newBarrier(d.P),
+		tm: Timing{
+			Compute: make([]time.Duration, d.P),
+			Comm:    make([]time.Duration, d.P),
+		},
+	}
+	for pe := 0; pe < rt.p; pe++ {
+		w := &rt.ws[pe]
+		n := len(rt.nodes[pe])
+		w.x = make([]float64, 3*n)
+		w.y = make([]float64, 3*n)
+		w.send = make([][]float64, len(rt.shared[pe]))
+		for k, locals := range rt.shared[pe] {
+			w.send[k] = make([]float64, 3*len(locals))
+		}
+		w.rev = make([]int, len(rt.neighbors[pe]))
+		w.ready = make([]chan struct{}, len(rt.neighbors[pe]))
+		for k, nbr := range rt.neighbors[pe] {
+			w.rev[k] = indexOf(rt.neighbors[nbr], int32(pe))
+			w.ready[k] = make(chan struct{}, 1)
+		}
+	}
+	rt.phasedBody = rt.phasedPE
+	rt.overlapBody = rt.overlappedPE
+	for pe := 0; pe < rt.p; pe++ {
+		go rt.peLoop(pe)
+	}
+	return rt
+}
+
+// peLoop is one persistent PE: park on the start barrier, run the
+// published body, park on the done barrier, repeat. A nil body is the
+// shutdown signal.
+func (rt *peRuntime) peLoop(pe int) {
+	for {
+		rt.start.await()
+		body := rt.body
+		if body == nil {
+			rt.done.await()
+			return
+		}
+		body(pe)
+		rt.done.await()
+	}
+}
+
+// run executes body(0..p-1) on the persistent PEs and returns once all
+// have finished. The done barrier doubles as the buffer-reuse fence:
+// no PE can be past it while another still reads a send buffer, so the
+// next kernel may overwrite every workspace.
+func (rt *peRuntime) run(body func(pe int)) error {
+	rt.dispatch.Lock()
+	defer rt.dispatch.Unlock()
+	if rt.closed {
+		return errClosed
+	}
+	rt.body = body
+	rt.start.await()
+	rt.done.await()
+	rt.body = nil
+	return nil
+}
+
+// runKernel runs an SMVP body against the global vectors x and y and
+// returns the runtime's reused Timing.
+func (rt *peRuntime) runKernel(body func(pe int), y, x []float64) (*Timing, error) {
+	rt.dispatch.Lock()
+	defer rt.dispatch.Unlock()
+	if rt.closed {
+		return nil, errClosed
+	}
+	rt.x, rt.y = x, y
+	rt.body = body
+	rt.start.await()
+	rt.done.await()
+	rt.body = nil
+	rt.x, rt.y = nil, nil
+	return &rt.tm, nil
+}
+
+// close shuts the PE goroutines down; idempotent.
+func (rt *peRuntime) close() {
+	rt.closeOnce.Do(func() {
+		rt.dispatch.Lock()
+		defer rt.dispatch.Unlock()
+		rt.closed = true
+		rt.body = nil
+		rt.start.await() // releases every PE with the nil (shutdown) body
+		rt.done.await()
+	})
+}

@@ -95,6 +95,42 @@ type Config struct {
 	// Precondition, when non-nil, is the inverse-diagonal (Jacobi)
 	// preconditioner: z = Precondition ⊙ r.
 	Precondition []float64
+	// Workspace, when non-nil, supplies the iteration vectors so
+	// repeated solves reuse one set of allocations (an implicit time
+	// stepper calls CG every step). A workspace must not be shared by
+	// concurrent solves.
+	Workspace *Workspace
+}
+
+// Workspace holds CG's four iteration vectors (r, z, p, Ap). One
+// workspace serves any operator whose dimension fits; it grows on
+// demand and is reused across solves via Config.Workspace.
+type Workspace struct {
+	r, z, p, ap []float64
+}
+
+// NewWorkspace preallocates a workspace for operators of scalar
+// dimension n (3·nodes for the distributed stiffness operator).
+func NewWorkspace(n int) *Workspace {
+	w := &Workspace{}
+	w.ensure(n)
+	return w
+}
+
+// ensure sizes the vectors for dimension n, reallocating only when the
+// capacity is insufficient. CG fully initializes every vector before
+// reading it, so stale contents are harmless.
+func (w *Workspace) ensure(n int) {
+	if cap(w.r) < n {
+		w.r = make([]float64, n)
+		w.z = make([]float64, n)
+		w.p = make([]float64, n)
+		w.ap = make([]float64, n)
+	}
+	w.r = w.r[:n]
+	w.z = w.z[:n]
+	w.p = w.p[:n]
+	w.ap = w.ap[:n]
 }
 
 // CG solves A·x = b by (optionally Jacobi-preconditioned) conjugate
@@ -139,10 +175,13 @@ func CG(a Operator, b, x []float64, cfg Config) (*Result, error) {
 		})
 	}()
 
-	r := make([]float64, n)
-	z := make([]float64, n)
-	p := make([]float64, n)
-	ap := make([]float64, n)
+	ws := cfg.Workspace
+	if ws == nil {
+		ws = NewWorkspace(n)
+	} else {
+		ws.ensure(n)
+	}
+	r, z, p, ap := ws.r, ws.z, ws.p, ws.ap
 
 	a.Apply(ap, x)
 	res.SMVPs++
