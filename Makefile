@@ -3,7 +3,7 @@
 GO ?= go
 BENCH_DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: all build vet test race bench bench-json bench-smoke ci repro examples clean
+.PHONY: all build vet test race bench bench-json bench-smoke fuzz-smoke ci repro examples clean
 
 # Benchmarks must run at the host's full width: a throttled GOMAXPROCS
 # makes every parallel benchmark meaningless (the PE goroutines
@@ -23,12 +23,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/obs/ ./internal/par/ ./internal/spark/
+	$(GO) test -race . ./internal/fault/ ./internal/obs/ ./internal/par/ ./internal/spark/
 
 # The gate CI runs: build + vet + full tests, plus the race detector on
 # the concurrency-heavy packages, plus a one-iteration benchmark smoke
-# run so the kernel entry points cannot silently rot.
-ci: build vet test race bench-smoke
+# run so the kernel entry points cannot silently rot, plus a few seconds
+# of fuzzing on the parsers that face untrusted input.
+ci: build vet test race bench-smoke fuzz-smoke
 
 # Regenerates every table/figure into results/ and records the raw
 # benchmark log (the EXPERIMENTS.md pipeline), then distills it into a
@@ -42,9 +43,18 @@ bench-json:
 	@echo "wrote BENCH_$(BENCH_DATE).json"
 
 # Executes each distributed-kernel benchmark once (no timing fidelity):
-# a fast gate that the parallel SMVP entry points still run.
+# a fast gate that the parallel SMVP entry points still run, and that
+# the fault-injection hooks stay allocation-free on their hot path.
 bench-smoke:
-	$(GO) test -run='^$$' -bench='ParallelSMVP|OverlappedSMVP' -benchtime=1x -benchmem .
+	$(GO) test -run='^$$' -bench='ParallelSMVP|OverlappedSMVP|FaultHookOverhead' -benchtime=1x -benchmem .
+
+# Short mutation runs of the fuzz targets guarding the two parsers that
+# accept untrusted input: the message-matrix schedule builder and the
+# fault-plan grammar. Go allows one -fuzz pattern per invocation, so
+# each target gets its own run.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzFromMatrix -fuzztime=5s ./internal/comm/
+	$(GO) test -run='^$$' -fuzz=FuzzParsePlan -fuzztime=5s ./internal/fault/
 
 # One-shot figure regeneration without the benchmark harness.
 repro:

@@ -2,6 +2,7 @@ package quake
 
 import (
 	"repro/internal/comm"
+	"repro/internal/fault"
 	"repro/internal/fem"
 	"repro/internal/geom"
 	"repro/internal/machine"
@@ -267,6 +268,34 @@ func SimulateTorus(s *Schedule, p MachineParams, t Torus, cfg TorusConfig) (netw
 func Properties(s Scenario, pcounts []int, method Method) ([]PropsRow, error) {
 	return iq.Properties(s, pcounts, method)
 }
+
+// Reliability: deterministic fault injection on the distributed runtime
+// and the self-healing CG solver built against it. The plan grammar,
+// containment contract, and recovery semantics are in
+// docs/RELIABILITY.md.
+type (
+	// FaultPlan is a parsed fault-injection plan: seeded, ordered fault
+	// events the runtime executes at its exchange boundary.
+	FaultPlan = fault.Plan
+	// FaultEvent is one planned fault (corrupt, drop, dup, delay, stall,
+	// or panic) bound to a PE and optionally a kernel invocation.
+	FaultEvent = fault.Event
+	// FaultKind enumerates the fault event kinds.
+	FaultKind = fault.Kind
+	// FaultInjector is an armed plan: it injects at the exchange
+	// boundary and counts what it injected, per kind. Obtain one from
+	// Dist.InjectFaults.
+	FaultInjector = fault.Injector
+)
+
+// ParseFaultPlan parses the fault-plan grammar, e.g.
+// "corrupt:pe=2,iter=5;stall:pe=0,dur=10ms;panic:pe=1,iter=12".
+func ParseFaultPlan(s string) (*FaultPlan, error) { return fault.Parse(s) }
+
+// ErrDistPoisoned marks every error a Dist returns after one of its PEs
+// died mid-kernel: the runtime contains the failure, fails the in-flight
+// call, and refuses all later kernels (errors.Is-matchable).
+var ErrDistPoisoned = par.ErrPoisoned
 
 // Experiment tables (one per paper figure).
 var (

@@ -1,6 +1,7 @@
 package quake_test
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -280,5 +281,84 @@ func TestFacadeExtensions(t *testing.T) {
 	}
 	if step, _ := quake.ImplicitStep(o.App, 4, 3, t3e.Tf, t3e.Tl, t3e.Tw); step <= 0 {
 		t.Error("implicit step non-positive")
+	}
+}
+
+// TestFacadeReliability drives the fault-injection surface through the
+// public API: plan parsing round-trips, a corruption plan is armed and
+// healed by SolveCG's self-correction, and a dead PE poisons the Dist
+// with an ErrDistPoisoned-matchable error.
+func TestFacadeReliability(t *testing.T) {
+	plan, err := quake.ParseFaultPlan("seed:3;corrupt:pe=1->0,iter=4,bit=62")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := quake.ParseFaultPlan(plan.String())
+	if err != nil || rt.String() != plan.String() {
+		t.Fatalf("plan does not round-trip: %q vs %q (%v)", rt, plan, err)
+	}
+	if _, err := quake.ParseFaultPlan("corrupt:pe=-1"); err == nil {
+		t.Fatal("malformed plan accepted")
+	}
+
+	m, err := quake.SF10.Mesh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat := quake.SanFernando()
+	sys, err := quake.Assemble(m, mat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := quake.PartitionMesh(m, 4, quake.RCB, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := quake.Analyze(m, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := quake.NewDist(m, mat, pt, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dist.Close()
+
+	in, err := dist.InjectFaults(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := quake.DistOperator{D: dist, Shift: 20, MassNode: sys.MassNode}
+	n := op.Dim()
+	b := make([]float64, n)
+	b[3] = 1e2
+	x := make([]float64, n)
+	res, err := quake.SolveCG(op, b, x, quake.CGConfig{
+		MaxIter: 4 * n, Tol: 1e-8, CheckEvery: 5, MaxRecoveries: 8,
+	})
+	if err != nil || !res.Converged {
+		t.Fatalf("healing solve through facade: %+v err=%v", res, err)
+	}
+	if in.Count(quake.FaultKind(0)) < 1 { // Corrupt is kind 0
+		t.Fatalf("no corruption injected: total %d", in.Total())
+	}
+	if res.Detections < 1 || res.Rollbacks+res.Restarts < 1 {
+		t.Fatalf("corruption not healed: %+v", res)
+	}
+
+	// A dead PE poisons the Dist for good.
+	panicPlan, err := quake.ParseFaultPlan("panic:pe=2,iter=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dist.InjectFaults(panicPlan); err != nil {
+		t.Fatal(err)
+	}
+	y := make([]float64, n)
+	if _, err := dist.SMVP(y, x); !errors.Is(err, quake.ErrDistPoisoned) {
+		t.Fatalf("expected ErrDistPoisoned, got %v", err)
+	}
+	if _, err := dist.SMVP(y, x); !errors.Is(err, quake.ErrDistPoisoned) {
+		t.Fatalf("poisoned Dist accepted a later kernel: %v", err)
 	}
 }

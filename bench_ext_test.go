@@ -236,7 +236,10 @@ func BenchmarkAblationBlockSize(b *testing.B) {
 		tab.AddRow("maximal", report.Int(int64(base.TotalBlocks())), report.SI(ref, "s"), "1.00")
 		worst = 1
 		for _, w := range []int64{1024, 256, 64, 16, 4} {
-			split := base.SplitBlocks(w)
+			split, err := base.SplitBlocks(w)
+			if err != nil {
+				b.Fatal(err)
+			}
 			ct := machine.ExactCommTime(split, t3e)
 			ratio := ct / ref
 			if ratio > worst {

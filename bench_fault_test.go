@@ -1,0 +1,82 @@
+// Fault-injection overhead: the injector hooks sit on the distributed
+// kernel's hot path (after local compute, around every block post and
+// receive), so the disarmed configuration must cost nothing — a nil
+// check per hook site and zero allocations — and even an armed plan
+// whose events never match should add only the per-event match scans.
+package quake_test
+
+import (
+	"testing"
+
+	quake "repro"
+	"repro/internal/partition"
+)
+
+// BenchmarkFaultHookOverhead times the steady-state distributed SMVP
+// with the injector disarmed, armed with a plan that never fires, and
+// armed with an every-iteration corruption, so the price of each
+// configuration is visible side by side. The disarmed case is the
+// acceptance bar: it must match the plain kernel (0 allocs/op; the
+// zero-alloc property itself is pinned by TestSMVPZeroAlloc).
+func BenchmarkFaultHookOverhead(b *testing.B) {
+	m, err := quake.SF10.Mesh()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pt, err := quake.PartitionMesh(m, 4, partition.RCB, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr, err := quake.Analyze(m, pt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dist, err := quake.NewDist(m, quake.SanFernando(), pt, pr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer dist.Close()
+	x := make([]float64, 3*m.NumNodes())
+	y := make([]float64, 3*m.NumNodes())
+	for i := range x {
+		x[i] = float64(i%7) * 0.25
+	}
+
+	cases := []struct {
+		name string
+		plan string // "" leaves the injector disarmed
+	}{
+		{"disarmed", ""},
+		// Armed but idle: the event's iteration is never reached, so the
+		// hooks run their match scans without ever injecting.
+		{"armed-idle", "corrupt:pe=1->0,iter=1000000"},
+		{"armed-firing", "corrupt:pe=1->0,bit=3"},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			if c.plan != "" {
+				plan, err := quake.ParseFaultPlan(c.plan)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := dist.InjectFaults(plan); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := dist.SMVP(y, x); err != nil { // reach steady state
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := dist.SMVP(y, x); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if _, err := dist.InjectFaults(nil); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

@@ -12,11 +12,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"repro/internal/comm"
+	"repro/internal/fault"
 	"repro/internal/fem"
 	"repro/internal/geom"
 	"repro/internal/machine"
@@ -26,6 +29,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/quake"
 	"repro/internal/report"
+	"repro/internal/solver"
 )
 
 func main() {
@@ -35,15 +39,25 @@ func main() {
 	seis := flag.String("seis", "", "write receiver seismograms as CSV to this file")
 	trace := flag.String("trace", "", "write a Chrome trace_event JSON file here")
 	metrics := flag.String("metrics", "", "write a metrics snapshot JSON file here")
+	faults := flag.String("faults", "", "fault-injection soak: arm this plan (e.g. 'corrupt:pe=1->0,iter=4,bit=62') on the distributed runtime and run a self-healing CG solve against a fault-free reference; see docs/RELIABILITY.md")
 	flag.Parse()
 
-	if err := run(*scenario, *steps, *pes, *seis, *trace, *metrics); err != nil {
+	if err := run(*scenario, *steps, *pes, *seis, *trace, *metrics, *faults); err != nil {
 		fmt.Fprintln(os.Stderr, "quakesim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(name string, steps, pes int, seisPath, tracePath, metricsPath string) error {
+func run(name string, steps, pes int, seisPath, tracePath, metricsPath, faultsPlan string) error {
+	// Reject a malformed plan before spending minutes simulating; the
+	// soak itself runs last.
+	var plan *fault.Plan
+	if faultsPlan != "" {
+		var err error
+		if plan, err = fault.Parse(faultsPlan); err != nil {
+			return err
+		}
+	}
 	if tracePath != "" || metricsPath != "" {
 		obs.SetEnabled(true)
 		obs.StartTrace()
@@ -183,6 +197,88 @@ func run(name string, steps, pes int, seisPath, tracePath, metricsPath string) e
 		t3e.Name, report.SI(modelT, "s"), report.SI(exactT, "s"), report.SI(simT, "s"), pr.Beta())
 	fmt.Printf("modeled efficiency of %s on %s/%d: %.3f\n",
 		t3e.Name, s.Name, pes, model.Efficiency(app, t3e.Tf, t3e.Tl, t3e.Tw))
+
+	// Fault-injection soak: runs last, because a plan with a panic event
+	// poisons the Dist for good (the containment being demonstrated).
+	if plan != nil {
+		if err := soakFaults(dist, sys, plan); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// soakFaults solves the shifted elastodynamic system with CG twice —
+// once fault-free for reference, once with the plan armed and the
+// solver's self-healing enabled — and reports what was injected, what
+// the solver detected, and how far the healed answer drifted. A plan
+// that kills a PE instead demonstrates fail-fast containment: the solve
+// returns the poisoned-Dist error and every later kernel refuses to run.
+func soakFaults(dist *par.Dist, sys *fem.System, plan *fault.Plan) error {
+	fmt.Printf("\nfault soak: plan %q\n", plan)
+
+	op := par.Operator{D: dist, Shift: 20, MassNode: sys.MassNode}
+	n := op.Dim()
+	b := make([]float64, n)
+	b[2] = 50
+	b[n-1] = -20
+	ref := make([]float64, n)
+	rres, err := solver.CG(op, b, ref, solver.Config{MaxIter: 4 * n, Tol: 1e-8})
+	if err != nil {
+		return fmt.Errorf("reference solve: %w", err)
+	}
+	if !rres.Converged {
+		return fmt.Errorf("reference solve did not converge: %+v", rres)
+	}
+	fmt.Printf("fault-free reference: %d iterations, residual %.3g\n", rres.Iterations, rres.Residual)
+
+	in, err := dist.InjectFaults(plan)
+	if err != nil {
+		return err
+	}
+	x := make([]float64, n)
+	res, err := solver.CG(op, b, x, solver.Config{
+		MaxIter: 4 * n, Tol: 1e-8, CheckEvery: 5, MaxRecoveries: 8,
+	})
+	injected := ""
+	for _, k := range []fault.Kind{fault.Corrupt, fault.Drop, fault.Dup, fault.Delay, fault.Stall, fault.Panic} {
+		if c := in.Count(k); c > 0 {
+			injected += fmt.Sprintf(" %s=%d", k, c)
+		}
+	}
+	if injected == "" {
+		injected = " none"
+	}
+	fmt.Printf("injected faults:%s\n", injected)
+	if err != nil {
+		if errors.Is(err, par.ErrPoisoned) {
+			fmt.Printf("contained PE failure: %v\n", err)
+			if _, e := dist.SMVP(make([]float64, n), x); e == nil {
+				return fmt.Errorf("poisoned Dist accepted a kernel")
+			}
+			fmt.Println("poisoned Dist fails fast on every later kernel, as documented")
+			return nil
+		}
+		return fmt.Errorf("armed solve: %w", err)
+	}
+	var drift, scale float64
+	for i := range ref {
+		if d := math.Abs(x[i] - ref[i]); d > drift {
+			drift = d
+		}
+		if a := math.Abs(ref[i]); a > scale {
+			scale = a
+		}
+	}
+	fmt.Printf("self-healing solve: %d iterations, residual %.3g; detections %d, rollbacks %d, restarts %d\n",
+		res.Iterations, res.Residual, res.Detections, res.Rollbacks, res.Restarts)
+	fmt.Printf("max deviation from fault-free answer: %.3g (solution scale %.3g)\n", drift, scale)
+	if !res.Converged {
+		return fmt.Errorf("armed solve did not converge: %+v", res)
+	}
+	if _, err := dist.InjectFaults(nil); err != nil {
+		return fmt.Errorf("disarm: %w", err)
+	}
 	return nil
 }
 

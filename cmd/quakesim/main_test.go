@@ -9,7 +9,7 @@ import (
 
 func TestRun(t *testing.T) {
 	seis := filepath.Join(t.TempDir(), "seis.csv")
-	if err := run("sf10", 40, 4, seis, "", ""); err != nil {
+	if err := run("sf10", 40, 4, seis, "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	fi, err := os.Stat(seis)
@@ -25,7 +25,7 @@ func TestRunTelemetry(t *testing.T) {
 	dir := t.TempDir()
 	trace := filepath.Join(dir, "trace.json")
 	metrics := filepath.Join(dir, "metrics.json")
-	if err := run("sf10", 20, 4, "", trace, metrics); err != nil {
+	if err := run("sf10", 20, 4, "", trace, metrics, ""); err != nil {
 		t.Fatal(err)
 	}
 	for _, path := range []string{trace, metrics} {
@@ -41,7 +41,28 @@ func TestRunTelemetry(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("bogus", 10, 2, "", "", ""); err == nil {
+	if err := run("bogus", 10, 2, "", "", "", ""); err == nil {
 		t.Error("unknown scenario accepted")
+	}
+	if err := run("sf10", 10, 2, "", "", "", "garble:pe=0"); err == nil {
+		t.Error("malformed fault plan accepted")
+	}
+}
+
+// TestRunFaultSoak drives the -faults path end to end: seeded exchange
+// corruption aimed at an owner PE must be detected and healed, and the
+// run must still exit cleanly.
+func TestRunFaultSoak(t *testing.T) {
+	plan := "seed:3;corrupt:pe=1->0,iter=4,bit=62"
+	if err := run("sf10", 20, 4, "", "", "", plan); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunFaultPanicContained: a plan that kills a PE mid-solve must end
+// the run with the documented containment report, not an error or hang.
+func TestRunFaultPanicContained(t *testing.T) {
+	if err := run("sf10", 20, 4, "", "", "", "panic:pe=1,iter=3"); err != nil {
+		t.Fatal(err)
 	}
 }

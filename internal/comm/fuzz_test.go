@@ -1,0 +1,88 @@
+package comm
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzFromMatrix hardens the schedule builder: an arbitrary message
+// matrix — decoded from fuzz bytes as p rows of p little-endian int16
+// volumes each (small enough that SplitBlocks stays fast, signed so the
+// negative-volume rejection is exercised) — must yield either a schedule that passes Validate with the
+// matrix's exact word totals, or an error; never a panic. SplitBlocks
+// is driven on every accepted schedule so block splitting inherits the
+// same guarantee. Run the fuzzer with `go test -fuzz FuzzFromMatrix
+// ./internal/comm`; the seed corpus runs under plain `go test` (and
+// `make fuzz-smoke` gives it a few seconds of mutation in CI).
+func FuzzFromMatrix(f *testing.F) {
+	encode := func(rows [][]int64) []byte {
+		var out []byte
+		for _, r := range rows {
+			for _, w := range r {
+				out = binary.LittleEndian.AppendUint16(out, uint16(int16(w)))
+			}
+		}
+		return out
+	}
+	f.Add(uint8(3), encode(matrix3()))
+	f.Add(uint8(2), encode([][]int64{{0, 5}, {7, 0}}))
+	f.Add(uint8(2), encode([][]int64{{1, 0}, {0, 0}}))  // self-message
+	f.Add(uint8(2), encode([][]int64{{0, -4}, {0, 0}})) // negative volume
+	f.Add(uint8(0), []byte{})
+	f.Add(uint8(9), []byte{1, 2, 3}) // short data: zero-padded rows
+
+	f.Fuzz(func(t *testing.T, p uint8, data []byte) {
+		const maxP = 16
+		dim := int(p % (maxP + 1))
+		msg := make([][]int64, dim)
+		for i := range msg {
+			msg[i] = make([]int64, dim)
+			for j := range msg[i] {
+				off := 2 * (i*dim + j)
+				if off+2 <= len(data) {
+					msg[i][j] = int64(int16(binary.LittleEndian.Uint16(data[off : off+2])))
+				}
+			}
+		}
+		s, err := FromMatrix(msg)
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("accepted schedule fails Validate: %v", err)
+		}
+		// Word totals must match the matrix exactly.
+		want := make([]int64, dim)
+		for i := range msg {
+			for j, w := range msg[i] {
+				want[i] += w
+				want[j] += w
+			}
+		}
+		got := s.WordsPerPE()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("PE %d words = %d, want %d", i, got[i], want[i])
+			}
+		}
+		// Splitting must preserve totals and never produce oversized or
+		// non-positive blocks.
+		split, err := s.SplitBlocks(4)
+		if err != nil {
+			t.Fatalf("SplitBlocks(4) on valid schedule: %v", err)
+		}
+		for _, msgs := range split.Out {
+			for _, m := range msgs {
+				if m.Words <= 0 || m.Words > 4 {
+					t.Fatalf("block of %d words", m.Words)
+				}
+			}
+		}
+		sw := split.WordsPerPE()
+		for i := range want {
+			if sw[i] != want[i] {
+				t.Fatalf("split PE %d words = %d, want %d", i, sw[i], want[i])
+			}
+		}
+	})
+}

@@ -54,10 +54,11 @@ func FromMatrix(msg [][]int64) (*Schedule, error) {
 
 // SplitBlocks returns a new schedule in which every message is split
 // into blocks of at most w words (the fixed-size transfer-unit regime;
-// the final block of a message may be short). w must be positive.
-func (s *Schedule) SplitBlocks(w int64) *Schedule {
+// the final block of a message may be short). A non-positive w is
+// rejected with an error.
+func (s *Schedule) SplitBlocks(w int64) (*Schedule, error) {
 	if w <= 0 {
-		panic(fmt.Sprintf("comm: block size must be positive, got %d", w))
+		return nil, fmt.Errorf("comm: block size must be positive, got %d", w)
 	}
 	out := &Schedule{P: s.P, Out: make([][]Message, s.P)}
 	for i, msgs := range s.Out {
@@ -73,7 +74,7 @@ func (s *Schedule) SplitBlocks(w int64) *Schedule {
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // WordsPerPE returns, for each PE, the number of words it sends plus the

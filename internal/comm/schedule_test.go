@@ -51,7 +51,10 @@ func TestSplitBlocks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	split := s.SplitBlocks(4)
+	split, err := s.SplitBlocks(4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := split.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -86,14 +89,13 @@ func TestSplitBlocks(t *testing.T) {
 	}
 }
 
-func TestSplitBlocksPanics(t *testing.T) {
+func TestSplitBlocksRejectsNonPositive(t *testing.T) {
 	s, _ := FromMatrix(matrix3())
-	defer func() {
-		if recover() == nil {
-			t.Error("SplitBlocks(0) did not panic")
+	for _, w := range []int64{0, -1} {
+		if sp, err := s.SplitBlocks(w); err == nil || sp != nil {
+			t.Errorf("SplitBlocks(%d) = %v, %v; want nil, error", w, sp, err)
 		}
-	}()
-	s.SplitBlocks(0)
+	}
 }
 
 func TestValidateCatchesCorruption(t *testing.T) {

@@ -1,0 +1,53 @@
+package fault
+
+import "testing"
+
+// FuzzParsePlan hardens the fault-plan parser: arbitrary input must
+// yield either a structurally valid plan or an error — never a panic —
+// and the canonical rendering of any accepted plan must parse back to
+// the same canonical form (a stable round trip). Run the fuzzer with
+// `go test -fuzz FuzzParsePlan ./internal/fault`; the seed corpus runs
+// under plain `go test` (and `make fuzz-smoke` gives it a few seconds
+// of mutation in CI).
+func FuzzParsePlan(f *testing.F) {
+	f.Add("corrupt:pe=2,iter=5;stall:pe=0,dur=10ms;panic:pe=1,iter=12;drop:pe=3->1,iter=7")
+	f.Add("seed:42;drop:pe=3→1,iter=7")
+	f.Add("delay:pe=0->2,dur=250µs;dup:pe=1->0")
+	f.Add("corrupt:pe=0->1,word=3,bit=62")
+	f.Add("corrupt:pe=-1;;")
+	f.Add("seed:;panic:")
+	f.Add("pe=1:corrupt")
+	f.Add("stall:pe=0,dur=9999999999999999999h")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := Parse(s)
+		if err != nil {
+			return
+		}
+		// Whatever parses must survive its own canonical form.
+		canon := p.String()
+		p2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, s, err)
+		}
+		if p2.String() != canon {
+			t.Fatalf("canonical form unstable: %q -> %q", canon, p2.String())
+		}
+		// Accepted events must satisfy the structural invariants the
+		// injector relies on.
+		for i, e := range p.Events {
+			if e.PE < 0 {
+				t.Fatalf("event %d has negative PE: %+v", i, e)
+			}
+			if e.Iter != EveryIter && e.Iter < 1 {
+				t.Fatalf("event %d has bad iter: %+v", i, e)
+			}
+			if e.Bit != Unset && (e.Bit < 0 || e.Bit > 63) {
+				t.Fatalf("event %d has bad bit: %+v", i, e)
+			}
+			if e.Dur < 0 {
+				t.Fatalf("event %d has negative duration: %+v", i, e)
+			}
+		}
+	})
+}

@@ -1,0 +1,177 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Injected is the panic value raised by a Panic event. The runtime's
+// containment recovers it like any other PE panic; carrying a distinct
+// type lets the resulting error say the fault was planned.
+type Injected struct {
+	PE   int
+	Iter int64
+}
+
+func (p *Injected) String() string {
+	return fmt.Sprintf("injected panic on PE %d at kernel %d", p.PE, p.Iter)
+}
+
+// Injector executes an armed Plan at the runtime's exchange boundary.
+// All hook methods are safe for concurrent use by the PE goroutines and
+// allocate nothing; the runtime calls them only while a plan is armed,
+// so the disarmed hot path stays a nil check. Injection counts are
+// tallied internally (always) and mirrored to obs counters (when
+// telemetry is enabled) under "fault.injected.<kind>".
+type Injector struct {
+	seed   int64
+	events []Event
+	iter   atomic.Int64
+	counts [numKinds]atomic.Int64
+	met    [numKinds]*obs.Counter
+}
+
+// NewInjector compiles a plan into an armed injector. The plan is
+// copied; later mutation of the caller's Plan has no effect.
+func NewInjector(p *Plan) *Injector {
+	in := &Injector{
+		seed:   p.Seed,
+		events: append([]Event(nil), p.Events...),
+	}
+	if in.seed == 0 {
+		in.seed = 1
+	}
+	for k := 0; k < numKinds; k++ {
+		in.met[k] = obs.GetCounter("fault.injected." + kindNames[k])
+	}
+	return in
+}
+
+// BeginKernel advances the injector's kernel-invocation counter and
+// returns the new (1-based) index. The runtime calls it once per
+// dispatched kernel, under the dispatch lock.
+func (in *Injector) BeginKernel() int64 { return in.iter.Add(1) }
+
+// Iter returns the number of kernels dispatched since arming.
+func (in *Injector) Iter() int64 { return in.iter.Load() }
+
+// Count returns how many faults of kind k have been injected.
+func (in *Injector) Count(k Kind) int64 {
+	if int(k) >= numKinds {
+		return 0
+	}
+	return in.counts[k].Load()
+}
+
+// Total returns the total number of injected faults.
+func (in *Injector) Total() int64 {
+	var t int64
+	for k := 0; k < numKinds; k++ {
+		t += in.counts[k].Load()
+	}
+	return t
+}
+
+func (in *Injector) note(k Kind) {
+	in.counts[k].Add(1)
+	in.met[k].Add(1)
+}
+
+func (e *Event) fires(iter int64) bool {
+	return e.Iter == EveryIter || e.Iter == iter
+}
+
+// AfterCompute fires the PE-local events (Stall, Panic) for pe at the
+// given kernel. The runtime calls it between the computation phase and
+// the posting of partial sums — the point where a dead PE is most
+// dangerous, with every peer headed for the phase synchronization.
+func (in *Injector) AfterCompute(pe int, iter int64) {
+	for i := range in.events {
+		e := &in.events[i]
+		if e.PE != pe || !e.fires(iter) {
+			continue
+		}
+		switch e.Kind {
+		case Stall:
+			in.note(Stall)
+			time.Sleep(e.Dur)
+		case Panic:
+			in.note(Panic)
+			panic(&Injected{PE: pe, Iter: iter})
+		}
+	}
+}
+
+// CorruptSend applies Corrupt events to the partial-sum buffer pe has
+// just posted for dst, flipping one bit per matching event. Unpinned
+// word/bit targets are derived from the plan seed: the word uniformly,
+// the bit from the exponent range [52,62] so the corruption perturbs
+// the magnitude instead of hiding below the solver's tolerance.
+func (in *Injector) CorruptSend(pe, dst int, iter int64, buf []float64) {
+	for i := range in.events {
+		e := &in.events[i]
+		if e.Kind != Corrupt || e.PE != pe || !e.fires(iter) {
+			continue
+		}
+		if e.Dst != Unset && e.Dst != dst {
+			continue
+		}
+		if len(buf) == 0 {
+			continue
+		}
+		h := mix(uint64(in.seed) ^ uint64(pe)<<40 ^ uint64(dst)<<20 ^ uint64(iter))
+		w := e.Word
+		if w == Unset {
+			w = int(h % uint64(len(buf)))
+		} else if w >= len(buf) {
+			w %= len(buf)
+		}
+		b := e.Bit
+		if b == Unset {
+			b = 52 + int((h>>32)%11)
+		}
+		buf[w] = math.Float64frombits(math.Float64bits(buf[w]) ^ (1 << uint(b)))
+		in.note(Corrupt)
+	}
+}
+
+// Deliver reports how the transfer src→dst should be delivered at the
+// given kernel: the returned count is 1 for a clean delivery, 0 for a
+// dropped transfer, 2 for a duplicated one. Delay events sleep here, on
+// the receiving PE, before delivery — the receiver experiences a late
+// message exactly as the paper's latency term models it.
+func (in *Injector) Deliver(src, dst int, iter int64) int {
+	reps := 1
+	for i := range in.events {
+		e := &in.events[i]
+		if e.PE != src || e.Dst != dst || !e.fires(iter) {
+			continue
+		}
+		switch e.Kind {
+		case Drop:
+			in.note(Drop)
+			reps = 0
+		case Dup:
+			in.note(Dup)
+			reps = 2
+		case Delay:
+			in.note(Delay)
+			time.Sleep(e.Dur)
+		}
+	}
+	return reps
+}
+
+// mix is splitmix64: a fast, well-distributed 64-bit mixer, giving the
+// injector deterministic per-(seed,pe,dst,iter) corruption targets
+// without any global random state.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

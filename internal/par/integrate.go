@@ -151,12 +151,18 @@ func (s *DistSim) Run(coords []geom.Vec3, cfg fem.SimConfig) (*DistSimResult, er
 	rt := d.rt
 	var fx, fy, fz float64
 	stepBody := func(pe int) {
+		fi, iter := rt.fi, rt.iter
+
 		// Computation phase: local SMVP.
 		sp := obs.StartSpanPE("compute", "par.step.compute", pe)
 		t0 := time.Now()
 		d.K[pe].MulVec(ku[pe], u[pe])
 		computeAcc[pe] += time.Since(t0)
 		sp.End()
+
+		if fi != nil {
+			fi.AfterCompute(pe, iter)
+		}
 
 		// Communication phase: exchange and sum partial K·u.
 		ws := &rt.ws[pe]
@@ -167,6 +173,9 @@ func (s *DistSim) Run(coords []geom.Vec3, cfg fem.SimConfig) (*DistSimResult, er
 			buf := ws.send[k]
 			for sIdx, l := range locals {
 				copy(buf[3*sIdx:3*sIdx+3], ku[pe][3*l:3*l+3])
+			}
+			if fi != nil {
+				fi.CorruptSend(pe, int(d.Neighbors[pe][k]), iter, buf)
 			}
 			sent += bytesPerSharedNode * int64(len(locals))
 		}
@@ -184,12 +193,18 @@ func (s *DistSim) Run(coords []geom.Vec3, cfg fem.SimConfig) (*DistSimResult, er
 		for k, nbr := range d.Neighbors[pe] {
 			buf := rt.ws[nbr].send[ws.rev[k]]
 			locals := d.Shared[pe][k]
-			for sIdx, l := range locals {
-				ku[pe][3*l] += buf[3*sIdx]
-				ku[pe][3*l+1] += buf[3*sIdx+1]
-				ku[pe][3*l+2] += buf[3*sIdx+2]
+			reps := 1
+			if fi != nil {
+				reps = fi.Deliver(int(nbr), pe, iter)
 			}
-			recvd += bytesPerSharedNode * int64(len(locals))
+			for ; reps > 0; reps-- {
+				for sIdx, l := range locals {
+					ku[pe][3*l] += buf[3*sIdx]
+					ku[pe][3*l+1] += buf[3*sIdx+1]
+					ku[pe][3*l+2] += buf[3*sIdx+2]
+				}
+				recvd += bytesPerSharedNode * int64(len(locals))
+			}
 		}
 		exchangeAcc[pe] += time.Since(t0)
 		rt.met.exchBytes[pe].Add(recvd)

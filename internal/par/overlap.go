@@ -44,6 +44,7 @@ func (rt *peRuntime) overlappedPE(pe int) {
 	ws := &rt.ws[pe]
 	nodes := rt.nodes[pe]
 	x, y := rt.x, rt.y
+	fi, iter := rt.fi, rt.iter
 	for l, g := range nodes {
 		copy(ws.x[3*l:3*l+3], x[3*g:3*g+3])
 	}
@@ -55,6 +56,13 @@ func (rt *peRuntime) overlappedPE(pe int) {
 	boundaryDur := time.Since(t0)
 	sp.End()
 
+	// Fault hook before the posts: a PE that dies here has promised
+	// messages its neighbors will wait for — the containment in runBody
+	// releases their ready channels.
+	if fi != nil {
+		fi.AfterCompute(pe, iter)
+	}
+
 	// Post partials while interior work remains.
 	sp = obs.StartSpanPE("exchange", "par.overlap.post", pe)
 	t0 = time.Now()
@@ -63,6 +71,9 @@ func (rt *peRuntime) overlappedPE(pe int) {
 		buf := ws.send[k]
 		for s, l := range locals {
 			copy(buf[3*s:3*s+3], ws.y[3*l:3*l+3])
+		}
+		if fi != nil {
+			fi.CorruptSend(pe, int(rt.neighbors[pe][k]), iter, buf)
 		}
 		rt.ws[rt.neighbors[pe][k]].ready[ws.rev[k]] <- struct{}{}
 		n := bytesPerSharedNode * int64(len(locals))
@@ -89,12 +100,18 @@ func (rt *peRuntime) overlappedPE(pe int) {
 		<-ws.ready[k]
 		buf := rt.ws[nbr].send[ws.rev[k]]
 		locals := rt.shared[pe][k]
-		for s, l := range locals {
-			ws.y[3*l] += buf[3*s]
-			ws.y[3*l+1] += buf[3*s+1]
-			ws.y[3*l+2] += buf[3*s+2]
+		reps := 1
+		if fi != nil {
+			reps = fi.Deliver(int(nbr), pe, iter)
 		}
-		recvd += bytesPerSharedNode * int64(len(locals))
+		for ; reps > 0; reps-- {
+			for s, l := range locals {
+				ws.y[3*l] += buf[3*s]
+				ws.y[3*l+1] += buf[3*s+1]
+				ws.y[3*l+2] += buf[3*s+2]
+			}
+			recvd += bytesPerSharedNode * int64(len(locals))
+		}
 	}
 	recvDur := time.Since(t0)
 	rt.met.exchBytes[pe].Add(recvd)

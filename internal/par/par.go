@@ -14,6 +14,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/fem"
 	"repro/internal/geom"
 	"repro/internal/material"
@@ -233,6 +234,36 @@ func NewDist(m *mesh.Mesh, mat *material.Model, pt *partition.Partition, pr *par
 // P parked goroutines and its workspaces until it is garbage collected.
 func (d *Dist) Close() { d.rt.close() }
 
+// InjectFaults arms the Dist's exchange-boundary fault injector with
+// plan, or disarms it when plan is nil. The returned Injector reports
+// injected-fault counts; it is nil when disarming. Arming is excluded
+// from in-flight kernels by the dispatch mutex, and a disarmed Dist
+// pays only a nil check per hook site — the steady-state kernels stay
+// allocation- and spawn-free (see docs/RELIABILITY.md for the fault
+// model and docs/PERFORMANCE.md for the hot-path rules).
+//
+// Plan iterations count kernel dispatches since arming: every SMVP,
+// SMVPOverlapped, or DistSim time step advances the count by one. A
+// plan whose panic event fires poisons the Dist permanently: the
+// faulted kernel returns an error wrapping ErrPoisoned and every later
+// kernel fails fast with the same error.
+func (d *Dist) InjectFaults(plan *fault.Plan) (*fault.Injector, error) {
+	if plan == nil {
+		if err := d.rt.arm(nil); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	if err := plan.Validate(d.P); err != nil {
+		return nil, err
+	}
+	in := fault.NewInjector(plan)
+	if err := d.rt.arm(in); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
 // Timing reports per-PE phase durations of one distributed SMVP.
 type Timing struct {
 	Compute []time.Duration
@@ -284,6 +315,7 @@ func (rt *peRuntime) phasedPE(pe int) {
 	ws := &rt.ws[pe]
 	nodes := rt.nodes[pe]
 	x, y := rt.x, rt.y
+	fi, iter := rt.fi, rt.iter
 	for l, g := range nodes {
 		copy(ws.x[3*l:3*l+3], x[3*g:3*g+3])
 	}
@@ -295,6 +327,10 @@ func (rt *peRuntime) phasedPE(pe int) {
 	rt.tm.Compute[pe] = time.Since(start)
 	sp.End()
 
+	if fi != nil {
+		fi.AfterCompute(pe, iter)
+	}
+
 	// Communication phase, step 1: post partial sums for each neighbor
 	// into this PE's own send buffers.
 	sp = obs.StartSpanPE("exchange", "par.smvp.post", pe)
@@ -304,6 +340,9 @@ func (rt *peRuntime) phasedPE(pe int) {
 		buf := ws.send[k]
 		for s, l := range locals {
 			copy(buf[3*s:3*s+3], ws.y[3*l:3*l+3])
+		}
+		if fi != nil {
+			fi.CorruptSend(pe, int(rt.neighbors[pe][k]), iter, buf)
 		}
 		n := bytesPerSharedNode * int64(len(locals))
 		sent += n
@@ -328,12 +367,18 @@ func (rt *peRuntime) phasedPE(pe int) {
 	for k, nbr := range rt.neighbors[pe] {
 		buf := rt.ws[nbr].send[ws.rev[k]]
 		locals := rt.shared[pe][k]
-		for s, l := range locals {
-			ws.y[3*l] += buf[3*s]
-			ws.y[3*l+1] += buf[3*s+1]
-			ws.y[3*l+2] += buf[3*s+2]
+		reps := 1
+		if fi != nil {
+			reps = fi.Deliver(int(nbr), pe, iter)
 		}
-		recvd += bytesPerSharedNode * int64(len(locals))
+		for ; reps > 0; reps-- {
+			for s, l := range locals {
+				ws.y[3*l] += buf[3*s]
+				ws.y[3*l+1] += buf[3*s+1]
+				ws.y[3*l+2] += buf[3*s+2]
+			}
+			recvd += bytesPerSharedNode * int64(len(locals))
+		}
 	}
 	rt.tm.Comm[pe] += time.Since(start)
 	rt.met.exchBytes[pe].Add(recvd)
@@ -404,10 +449,12 @@ type Operator struct {
 	MassNode []float64
 }
 
-// Apply implements solver.Operator.
-func (o Operator) Apply(y, x []float64) {
+// Apply implements solver.Operator. A kernel failure — a dimension
+// mismatch, a closed Dist, or a Dist poisoned by a PE fault — is
+// propagated as an error, and solver.CG aborts the solve with it.
+func (o Operator) Apply(y, x []float64) error {
 	if _, err := o.D.SMVP(y, x); err != nil {
-		panic(err) // dimensions are fixed at construction; see solver.CG
+		return err
 	}
 	if o.Shift > 0 {
 		for i, m := range o.MassNode {
@@ -417,6 +464,7 @@ func (o Operator) Apply(y, x []float64) {
 			y[3*i+2] += f * x[3*i+2]
 		}
 	}
+	return nil
 }
 
 // Dim implements solver.Operator.

@@ -2,9 +2,11 @@ package par
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/sparse"
 )
 
@@ -21,6 +23,13 @@ import (
 // errClosed is returned by kernels invoked after Dist.Close.
 var errClosed = errors.New("par: Dist has been closed")
 
+// ErrPoisoned is wrapped by every error a faulted Dist returns: once a
+// PE has panicked mid-kernel, the runtime's workspaces may hold
+// partially written exchange buffers, so the Dist refuses all further
+// kernels rather than computing on them. Callers detect the sticky
+// state with errors.Is(err, ErrPoisoned) and must build a new Dist.
+var ErrPoisoned = errors.New("par: Dist poisoned by an earlier PE fault")
+
 // barrier is a reusable generation (sense-reversing) barrier for n
 // parties: await blocks until all n have arrived, releases them, and
 // resets for the next round. The mutex/cond pair both parks waiters
@@ -28,11 +37,12 @@ var errClosed = errors.New("par: Dist has been closed")
 // edge that lets PEs read each other's buffers after a crossing without
 // any further synchronization.
 type barrier struct {
-	mu    sync.Mutex
-	cond  sync.Cond
-	n     int
-	count int
-	gen   uint64
+	mu     sync.Mutex
+	cond   sync.Cond
+	n      int
+	count  int
+	gen    uint64
+	broken bool
 }
 
 func newBarrier(n int) *barrier {
@@ -42,9 +52,16 @@ func newBarrier(n int) *barrier {
 }
 
 // await arrives at the barrier and blocks until the round completes.
-// It performs no heap allocations.
+// It performs no heap allocations. A poisoned barrier never blocks:
+// current waiters are released and later arrivals pass straight
+// through, which is what lets the runtime drain a kernel whose PE died
+// before reaching the phase synchronization.
 func (b *barrier) await() {
 	b.mu.Lock()
+	if b.broken {
+		b.mu.Unlock()
+		return
+	}
 	gen := b.gen
 	b.count++
 	if b.count == b.n {
@@ -54,10 +71,21 @@ func (b *barrier) await() {
 		b.cond.Broadcast()
 		return
 	}
-	for gen == b.gen {
+	for gen == b.gen && !b.broken {
 		b.cond.Wait()
 	}
 	b.mu.Unlock()
+}
+
+// poison permanently breaks the barrier, releasing every waiter.
+// Idempotent and safe to call concurrently with await.
+func (b *barrier) poison() {
+	b.mu.Lock()
+	b.broken = true
+	b.count = 0
+	b.gen++
+	b.mu.Unlock()
+	b.cond.Broadcast()
 }
 
 // peWorkspace is the preallocated private state of one persistent PE.
@@ -122,8 +150,31 @@ type peRuntime struct {
 	phasedBody  func(pe int)
 	overlapBody func(pe int)
 
+	// fi is the armed fault injector, nil when disarmed (the production
+	// default: every hook site is then a single nil check). iter is the
+	// injector's kernel index for the in-flight dispatch. Both are
+	// written under the dispatch mutex and read by PEs strictly between
+	// the start and done barriers, so no further synchronization is
+	// needed — the same discipline as body/x/y.
+	fi   *fault.Injector
+	iter int64
+
+	// Panic containment: runBody records recovered PE panics under
+	// faultMu; the coordinator collects them after the done barrier and
+	// poisons the Dist (sticky, guarded by dispatch).
+	faultMu  sync.Mutex
+	faults   []peFault
+	poisoned error // guarded by dispatch
+
 	closeOnce sync.Once
 	closed    bool // guarded by dispatch
+}
+
+// peFault records one recovered PE panic.
+type peFault struct {
+	pe   int
+	iter int64
+	val  any
 }
 
 // newPERuntime builds the workspaces from the Dist's exchange lists and
@@ -183,9 +234,64 @@ func (rt *peRuntime) peLoop(pe int) {
 			rt.done.await()
 			return
 		}
-		body(pe)
+		rt.runBody(pe, body)
 		rt.done.await()
 	}
+}
+
+// runBody executes one kernel body with panic containment. A panic
+// (injected or genuine) is recovered on the PE goroutine itself, so the
+// PE survives to park again and Close keeps working; the recovered
+// value is recorded for the coordinator, the phase barrier is poisoned
+// so peers stuck at the intra-kernel synchronization drain instead of
+// deadlocking, and any overlapped-kernel receivers waiting on this PE's
+// ready channels are released. The kernel's output is garbage after a
+// fault — the coordinator turns it into an error and poisons the Dist.
+func (rt *peRuntime) runBody(pe int, body func(pe int)) {
+	defer func() {
+		if r := recover(); r != nil {
+			rt.faultMu.Lock()
+			rt.faults = append(rt.faults, peFault{pe: pe, iter: rt.iter, val: r})
+			rt.faultMu.Unlock()
+			rt.bar.poison()
+			rt.releaseReady(pe)
+		}
+	}()
+	body(pe)
+}
+
+// releaseReady satisfies every receiver that might be blocked waiting
+// for a ready signal from the dead PE. The capacity-1 channels make the
+// fill idempotent: a select-default send either delivers the one token
+// a receiver is waiting for or no-ops on an already-signaled channel.
+// Any stale token this leaves behind is unreachable — the Dist is
+// poisoned before another kernel can run.
+func (rt *peRuntime) releaseReady(pe int) {
+	ws := &rt.ws[pe]
+	for k, nbr := range rt.neighbors[pe] {
+		select {
+		case rt.ws[nbr].ready[ws.rev[k]] <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// collectFaults drains the panics recovered during the last kernel and
+// converts them into the Dist's sticky poison error. Called by the
+// coordinator under the dispatch mutex, after the done barrier.
+func (rt *peRuntime) collectFaults() error {
+	rt.faultMu.Lock()
+	faults := rt.faults
+	rt.faults = nil
+	rt.faultMu.Unlock()
+	if len(faults) == 0 {
+		return nil
+	}
+	f := faults[0]
+	err := fmt.Errorf("%w: PE %d panicked during kernel %d: %v (%d PE fault(s); build a new Dist)",
+		ErrPoisoned, f.pe, f.iter, f.val, len(faults))
+	rt.poisoned = err
+	return err
 }
 
 // run executes body(0..p-1) on the persistent PEs and returns once all
@@ -195,14 +301,17 @@ func (rt *peRuntime) peLoop(pe int) {
 func (rt *peRuntime) run(body func(pe int)) error {
 	rt.dispatch.Lock()
 	defer rt.dispatch.Unlock()
-	if rt.closed {
-		return errClosed
+	if err := rt.usable(); err != nil {
+		return err
+	}
+	if rt.fi != nil {
+		rt.iter = rt.fi.BeginKernel()
 	}
 	rt.body = body
 	rt.start.await()
 	rt.done.await()
 	rt.body = nil
-	return nil
+	return rt.collectFaults()
 }
 
 // runKernel runs an SMVP body against the global vectors x and y and
@@ -210,8 +319,11 @@ func (rt *peRuntime) run(body func(pe int)) error {
 func (rt *peRuntime) runKernel(body func(pe int), y, x []float64) (*Timing, error) {
 	rt.dispatch.Lock()
 	defer rt.dispatch.Unlock()
-	if rt.closed {
-		return nil, errClosed
+	if err := rt.usable(); err != nil {
+		return nil, err
+	}
+	if rt.fi != nil {
+		rt.iter = rt.fi.BeginKernel()
 	}
 	rt.x, rt.y = x, y
 	rt.body = body
@@ -219,7 +331,35 @@ func (rt *peRuntime) runKernel(body func(pe int), y, x []float64) (*Timing, erro
 	rt.done.await()
 	rt.body = nil
 	rt.x, rt.y = nil, nil
+	if err := rt.collectFaults(); err != nil {
+		return nil, err
+	}
 	return &rt.tm, nil
+}
+
+// usable reports whether kernels may be dispatched: not closed, not
+// poisoned. Called under the dispatch mutex.
+func (rt *peRuntime) usable() error {
+	if rt.closed {
+		return errClosed
+	}
+	if rt.poisoned != nil {
+		return rt.poisoned
+	}
+	return nil
+}
+
+// arm installs (or with nil removes) the fault injector. Called under
+// no lock by Dist.InjectFaults; takes the dispatch mutex so the swap
+// cannot overlap an in-flight kernel.
+func (rt *peRuntime) arm(in *fault.Injector) error {
+	rt.dispatch.Lock()
+	defer rt.dispatch.Unlock()
+	if err := rt.usable(); err != nil {
+		return err
+	}
+	rt.fi = in
+	return nil
 }
 
 // close shuts the PE goroutines down; idempotent.

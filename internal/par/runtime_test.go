@@ -1,6 +1,7 @@
 package par
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -189,4 +190,64 @@ func TestCloseSemantics(t *testing.T) {
 	if _, err := sim.Run(f.m.Coords, simCfg(f, 2)); err == nil {
 		t.Error("DistSim.Run on closed Dist succeeded")
 	}
+}
+
+// TestConcurrentCloseDuringKernels races Close against a stream of
+// in-flight kernels from several goroutines: the dispatch mutex must
+// make every call either complete normally or report the closed state —
+// never hang, race, or panic. Run under -race by `make race`.
+func TestConcurrentCloseDuringKernels(t *testing.T) {
+	f := newFixture(t)
+	pt, err := partition.PartitionMesh(f.m, 4, partition.RCB, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := partition.Analyze(f.m, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDist(f.m, f.mat, pt, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const callers = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	start := make(chan struct{})
+	wg.Add(callers)
+	for c := 0; c < callers; c++ {
+		go func(c int) {
+			defer wg.Done()
+			x := make([]float64, 3*d.GlobalNodes)
+			y := make([]float64, 3*d.GlobalNodes)
+			x[c] = 1
+			<-start
+			for i := 0; ; i++ {
+				var err error
+				if i%2 == 0 {
+					_, err = d.SMVP(y, x)
+				} else {
+					_, err = d.SMVPOverlapped(y, x)
+				}
+				if err != nil {
+					// The only legal failure is the closed report; anything
+					// else (a poisoned barrier, a partial result) is a bug.
+					if !errors.Is(err, errClosed) {
+						errs <- fmt.Errorf("caller %d kernel %d: %v", c, i, err)
+					}
+					return
+				}
+			}
+		}(c)
+	}
+	close(start)
+	d.Close()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Close remains idempotent after the race.
+	d.Close()
 }

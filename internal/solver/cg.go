@@ -19,8 +19,11 @@ import (
 // Operator is a square linear operator on block vectors (length 3·N
 // scalars for N block rows).
 type Operator interface {
-	// Apply computes y = A·x. y and x must not alias.
-	Apply(y, x []float64)
+	// Apply computes y = A·x. y and x must not alias. A returned error
+	// is fatal to the solve: it means the operator itself can no longer
+	// produce answers (e.g. a poisoned distributed runtime), which no
+	// amount of rollback can repair.
+	Apply(y, x []float64) error
 	// Dim returns the scalar dimension of the operator.
 	Dim() int
 }
@@ -29,7 +32,10 @@ type Operator interface {
 type BCSROperator struct{ M *sparse.BCSR }
 
 // Apply implements Operator.
-func (o BCSROperator) Apply(y, x []float64) { o.M.MulVec(y, x) }
+func (o BCSROperator) Apply(y, x []float64) error {
+	o.M.MulVec(y, x)
+	return nil
+}
 
 // Dim implements Operator.
 func (o BCSROperator) Dim() int { return 3 * o.M.N }
@@ -48,7 +54,7 @@ type Shifted struct {
 }
 
 // Apply implements Operator.
-func (s Shifted) Apply(y, x []float64) {
+func (s Shifted) Apply(y, x []float64) error {
 	s.K.MulVec(y, x)
 	for i, m := range s.MassNode {
 		f := s.Sigma * m
@@ -56,6 +62,7 @@ func (s Shifted) Apply(y, x []float64) {
 		y[3*i+1] += f * x[3*i+1]
 		y[3*i+2] += f * x[3*i+2]
 	}
+	return nil
 }
 
 // Dim implements Operator.
@@ -86,6 +93,18 @@ type Result struct {
 	// DotProducts is the number of global dot products performed — each
 	// is an allreduce on a parallel machine.
 	DotProducts int
+	// Detections counts the times self-healing (Config.CheckEvery > 0)
+	// caught an inconsistency: non-finite iteration values, a pᵀAp
+	// breakdown, or the recursive residual drifting from the true
+	// residual b − A·x.
+	Detections int
+	// Rollbacks counts restorations of the last certified checkpoint
+	// (x, r, p, ρ).
+	Rollbacks int
+	// Restarts counts the recoveries that rebuilt the Krylov state from
+	// the true residual because a plain rollback had already been tried
+	// against the same checkpoint without an audit passing since.
+	Restarts int
 }
 
 // Config controls the CG iteration.
@@ -100,13 +119,36 @@ type Config struct {
 	// stepper calls CG every step). A workspace must not be shared by
 	// concurrent solves.
 	Workspace *Workspace
+	// CheckEvery > 0 arms self-healing: every CheckEvery iterations CG
+	// recomputes the true residual b − A·x and compares it with the
+	// recursively updated residual. Drift beyond DriftTol, a non-finite
+	// value anywhere in the iteration, or a pᵀAp breakdown triggers a
+	// rollback to the last certified checkpoint of (x, r, p, ρ); a
+	// repeat detection from the same checkpoint escalates to a full
+	// Krylov restart rebuilt from the true residual. Apparent
+	// convergence is then certified against the true residual, so a
+	// corrupted operator cannot yield a silently wrong answer. Zero
+	// disables self-healing: the classic iteration, with hard errors on
+	// non-finite values.
+	CheckEvery int
+	// DriftTol is the allowed relative gap between the true and
+	// recursive residuals before a recovery is triggered: an audit
+	// detects when |‖b−Ax‖ − ‖r‖| > DriftTol·(‖b‖ + ‖r‖). The ‖r‖ term
+	// keeps roundoff in two large norms from reading as corruption far
+	// from convergence. Defaults to 1e-6.
+	DriftTol float64
+	// MaxRecoveries bounds rollbacks + restarts per solve; exceeding it
+	// fails the solve with an error. Defaults to 5.
+	MaxRecoveries int
 }
 
-// Workspace holds CG's four iteration vectors (r, z, p, Ap). One
+// Workspace holds CG's four iteration vectors (r, z, p, Ap) and, when
+// self-healing is armed, the checkpoint copies of x, r and p. One
 // workspace serves any operator whose dimension fits; it grows on
 // demand and is reused across solves via Config.Workspace.
 type Workspace struct {
-	r, z, p, ap []float64
+	r, z, p, ap   []float64
+	ckX, ckR, ckP []float64
 }
 
 // NewWorkspace preallocates a workspace for operators of scalar
@@ -133,6 +175,19 @@ func (w *Workspace) ensure(n int) {
 	w.ap = w.ap[:n]
 }
 
+// ensureCheckpoint sizes the checkpoint vectors, allocated only for
+// solves that arm self-healing.
+func (w *Workspace) ensureCheckpoint(n int) {
+	if cap(w.ckX) < n {
+		w.ckX = make([]float64, n)
+		w.ckR = make([]float64, n)
+		w.ckP = make([]float64, n)
+	}
+	w.ckX = w.ckX[:n]
+	w.ckR = w.ckR[:n]
+	w.ckP = w.ckP[:n]
+}
+
 // CG solves A·x = b by (optionally Jacobi-preconditioned) conjugate
 // gradients, overwriting x with the solution (x's initial content is
 // the starting guess).
@@ -150,6 +205,13 @@ func CG(a Operator, b, x []float64, cfg Config) (*Result, error) {
 	if cfg.Precondition != nil && len(cfg.Precondition) != n {
 		return nil, fmt.Errorf("solver: preconditioner length %d, want %d", len(cfg.Precondition), n)
 	}
+	healing := cfg.CheckEvery > 0
+	if cfg.DriftTol <= 0 {
+		cfg.DriftTol = 1e-6
+	}
+	if cfg.MaxRecoveries <= 0 {
+		cfg.MaxRecoveries = 5
+	}
 
 	res := &Result{}
 
@@ -162,16 +224,23 @@ func CG(a Operator, b, x []float64, cfg Config) (*Result, error) {
 	smvps := obs.GetCounter("solver.cg.smvps")
 	dots := obs.GetCounter("solver.cg.dotproducts")
 	residual := obs.GetGauge("solver.cg.residual")
+	detections := obs.GetCounter("solver.cg.detections")
+	rollbacks := obs.GetCounter("solver.cg.rollbacks")
+	restarts := obs.GetCounter("solver.cg.restarts")
 	defer func() {
 		iterations.Add(int64(res.Iterations))
 		smvps.Add(int64(res.SMVPs))
 		dots.Add(int64(res.DotProducts))
 		residual.Set(res.Residual)
+		detections.Add(int64(res.Detections))
+		rollbacks.Add(int64(res.Rollbacks))
+		restarts.Add(int64(res.Restarts))
 		obs.GetHistogram("solver.cg.iters_per_solve").Observe(int64(res.Iterations))
 		sp.EndWith(map[string]any{
 			"iterations": res.Iterations,
 			"residual":   res.Residual,
 			"converged":  res.Converged,
+			"detections": res.Detections,
 		})
 	}()
 
@@ -181,9 +250,14 @@ func CG(a Operator, b, x []float64, cfg Config) (*Result, error) {
 	} else {
 		ws.ensure(n)
 	}
+	if healing {
+		ws.ensureCheckpoint(n)
+	}
 	r, z, p, ap := ws.r, ws.z, ws.p, ws.ap
 
-	a.Apply(ap, x)
+	if err := a.Apply(ap, x); err != nil {
+		return res, fmt.Errorf("solver: operator failed: %w", err)
+	}
 	res.SMVPs++
 	for i := range r {
 		r[i] = b[i] - ap[i]
@@ -208,17 +282,113 @@ func CG(a Operator, b, x []float64, cfg Config) (*Result, error) {
 	}
 	applyPrec(z, r)
 	copy(p, z)
-	rz := dot(r, z)
+	var rz, ckRz float64
+	rz = dot(r, z)
 	res.DotProducts++
+
+	// trueResidual evaluates ‖b − A·x‖ directly, using z as scratch (z
+	// is rebuilt from r before its next use on every path).
+	trueResidual := func() (float64, error) {
+		if err := a.Apply(z, x); err != nil {
+			return 0, err
+		}
+		res.SMVPs++
+		var s float64
+		for i := range z {
+			d := b[i] - z[i]
+			s += d * d
+		}
+		res.DotProducts++
+		return math.Sqrt(s), nil
+	}
+
+	// ckTr is the true residual ‖b − A·x‖ certified for the current
+	// checkpoint; ckUsed marks a checkpoint that has already served a
+	// rollback without an audit passing since.
+	var ckTr float64
+	var ckUsed bool
+	checkpoint := func(tr float64) {
+		copy(ws.ckX, x)
+		copy(ws.ckR, r)
+		copy(ws.ckP, p)
+		ckRz = rz
+		ckTr = tr
+		ckUsed = false
+	}
+
+	// heal recovers from a detected inconsistency. trNow is the true
+	// residual already measured at the current x (NaN when unknown, e.g.
+	// after a non-finite breakdown). The first recovery from a given
+	// checkpoint restores the full Krylov state (x, r, p, ρ) and
+	// resumes — cheap, and correct when the corruption struck after the
+	// checkpoint was certified. A repeat detection before the next audit
+	// passes means the checkpointed state itself carries the fault (a
+	// certified checkpoint may still hide a sub-DriftTol recursion gap
+	// that regrows), so the recovery escalates: keep the better of the
+	// current and checkpointed x and rebuild the Krylov state from the
+	// true residual (r = b − A·x, p = z, ρ = rᵀz). The rebuilt state is
+	// exact by construction, and restarted CG from any finite x converges
+	// to the SPD solution.
+	heal := func(reason string, trNow float64) error {
+		res.Detections++
+		if res.Rollbacks+res.Restarts >= cfg.MaxRecoveries {
+			return fmt.Errorf("solver: fault persisted after %d recoveries (last detection: %s)", cfg.MaxRecoveries, reason)
+		}
+		if !ckUsed {
+			copy(x, ws.ckX)
+			copy(r, ws.ckR)
+			copy(p, ws.ckP)
+			rz = ckRz
+			ckUsed = true
+			res.Rollbacks++
+			return nil
+		}
+		if !isFinite(trNow) || trNow > ckTr {
+			copy(x, ws.ckX)
+		}
+		res.Restarts++
+		for i := range x {
+			if !isFinite(x[i]) {
+				x[i] = 0
+			}
+		}
+		if err := a.Apply(ap, x); err != nil {
+			return fmt.Errorf("solver: operator failed during restart: %w", err)
+		}
+		res.SMVPs++
+		for i := range r {
+			r[i] = b[i] - ap[i]
+		}
+		applyPrec(z, r)
+		copy(p, z)
+		rz = dot(r, z)
+		res.DotProducts++
+		checkpoint(norm2(r))
+		res.DotProducts++
+		return nil
+	}
+
+	if healing {
+		checkpoint(norm2(r))
+		res.DotProducts++
+	}
 
 	for iter := 0; iter < cfg.MaxIter; iter++ {
 		res.Iterations = iter + 1
-		a.Apply(ap, p)
+		if err := a.Apply(ap, p); err != nil {
+			return res, fmt.Errorf("solver: operator failed at iteration %d: %w", iter, err)
+		}
 		res.SMVPs++
 		pap := dot(p, ap)
 		res.DotProducts++
-		if pap <= 0 {
-			return res, fmt.Errorf("solver: operator not positive definite (pᵀAp = %g at iteration %d)", pap, iter)
+		if !isFinite(pap) || pap <= 0 {
+			if !healing {
+				return res, fmt.Errorf("solver: breakdown: pᵀAp = %g at iteration %d (operator not positive definite, or corrupted)", pap, iter)
+			}
+			if err := heal(fmt.Sprintf("pᵀAp = %g at iteration %d", pap, iter), math.NaN()); err != nil {
+				return res, err
+			}
+			continue
 		}
 		alpha := rz / pap
 		for i := range x {
@@ -227,25 +397,88 @@ func CG(a Operator, b, x []float64, cfg Config) (*Result, error) {
 		}
 		rn := norm2(r)
 		res.DotProducts++
+		if !isFinite(rn) {
+			if !healing {
+				return res, fmt.Errorf("solver: residual became non-finite (‖r‖ = %g) at iteration %d", rn, iter)
+			}
+			if err := heal(fmt.Sprintf("‖r‖ = %g at iteration %d", rn, iter), math.NaN()); err != nil {
+				return res, err
+			}
+			continue
+		}
 		res.Residual = rn / normB
 		if tracer != nil {
 			tracer.CounterEvent(obs.TrackDriver, "solver.cg.residual", res.Residual)
 		}
 		if res.Residual <= cfg.Tol {
-			res.Converged = true
-			return res, nil
+			if !healing {
+				res.Converged = true
+				return res, nil
+			}
+			// Certify convergence against the true residual: a corrupted
+			// exchange can drive the recursive residual to zero while x
+			// is wrong.
+			tr, err := trueResidual()
+			if err != nil {
+				return res, fmt.Errorf("solver: operator failed certifying convergence: %w", err)
+			}
+			if isFinite(tr) && tr/normB <= cfg.Tol {
+				res.Residual = tr / normB
+				res.Converged = true
+				return res, nil
+			}
+			if err := heal(fmt.Sprintf("recursive residual %.3g converged but true residual is %.3g at iteration %d", res.Residual, tr/normB, iter), tr); err != nil {
+				return res, err
+			}
+			continue
+		}
+		// Periodic audit: compare the recursive residual with the true
+		// residual. The drift threshold scales with the current residual
+		// so roundoff in two large norms is not mistaken for corruption.
+		// A passing state is certified, but the checkpoint itself is
+		// saved only after the upcoming (p, ρ) update: saving here would
+		// capture (x_{k+1}, r_{k+1}, p_k, ρ_k) — a mixed-generation tuple
+		// whose resumption re-applies the p_k step from the wrong iterate
+		// and quietly diverges.
+		certified := false
+		var certTr float64
+		if healing && (iter+1)%cfg.CheckEvery == 0 {
+			tr, err := trueResidual()
+			if err != nil {
+				return res, fmt.Errorf("solver: operator failed at residual audit: %w", err)
+			}
+			if !isFinite(tr) || math.Abs(tr-rn) > cfg.DriftTol*(normB+rn) {
+				if err := heal(fmt.Sprintf("residual drift |%.6g − %.6g| exceeds %g·(‖b‖+‖r‖) at iteration %d", tr, rn, cfg.DriftTol, iter), tr); err != nil {
+					return res, err
+				}
+				continue
+			}
+			certified, certTr = true, tr
 		}
 		applyPrec(z, r)
 		rzNew := dot(r, z)
 		res.DotProducts++
+		if healing && !isFinite(rzNew) {
+			if err := heal(fmt.Sprintf("ρ = %g at iteration %d", rzNew, iter), math.NaN()); err != nil {
+				return res, err
+			}
+			continue
+		}
 		beta := rzNew / rz
 		rz = rzNew
 		for i := range p {
 			p[i] = z[i] + beta*p[i]
 		}
+		if certified {
+			// (x_{k+1}, r_{k+1}, p_{k+1}, ρ_{k+1}) — exactly the state
+			// entering the next iteration, safe to resume from.
+			checkpoint(certTr)
+		}
 	}
 	return res, nil
 }
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 func dot(a, b []float64) float64 {
 	var s float64

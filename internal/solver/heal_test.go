@@ -1,0 +1,213 @@
+package solver
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// corruptingOp wraps an Operator and corrupts the output of chosen
+// Apply calls (1-based call index), modelling the silent data faults
+// the distributed runtime's injector produces at the exchange boundary.
+type corruptingOp struct {
+	Operator
+	calls   int
+	corrupt map[int]float64 // call index -> value added to entry 0
+}
+
+func (c *corruptingOp) Apply(y, x []float64) error {
+	c.calls++
+	if err := c.Operator.Apply(y, x); err != nil {
+		return err
+	}
+	if delta, ok := c.corrupt[c.calls]; ok {
+		y[0] += delta
+	}
+	return nil
+}
+
+// failingOp errors after a fixed number of Apply calls, modelling a
+// Dist poisoned mid-solve.
+type failingOp struct {
+	Operator
+	calls, failAt int
+	err           error
+}
+
+func (f *failingOp) Apply(y, x []float64) error {
+	f.calls++
+	if f.calls >= f.failAt {
+		return f.err
+	}
+	return f.Operator.Apply(y, x)
+}
+
+func solveRHS(n int) []float64 {
+	b := make([]float64, n)
+	b[2] = 50
+	b[n-1] = -20
+	return b
+}
+
+// TestHealingRecoversFromCorruption corrupts two operator applications
+// mid-solve and requires self-healing CG to detect, recover, and reach
+// the fault-free answer with a certified true residual.
+func TestHealingRecoversFromCorruption(t *testing.T) {
+	sys := buildSystem(t)
+	a := shifted(sys)
+	n := a.Dim()
+	b := solveRHS(n)
+
+	clean := make([]float64, n)
+	if res, err := CG(a, b, clean, Config{MaxIter: 6 * n, Tol: 1e-10}); err != nil || !res.Converged {
+		t.Fatalf("clean solve: %+v err=%v", res, err)
+	}
+
+	op := &corruptingOp{Operator: a, corrupt: map[int]float64{4: 1e7, 19: -3e8}}
+	healed := make([]float64, n)
+	res, err := CG(op, b, healed, Config{MaxIter: 6 * n, Tol: 1e-10, CheckEvery: 5, MaxRecoveries: 8})
+	if err != nil {
+		t.Fatalf("healing solve: %v", err)
+	}
+	if !res.Converged {
+		t.Fatalf("healing solve did not converge: %+v", res)
+	}
+	if res.Detections < 1 || res.Rollbacks+res.Restarts < 1 {
+		t.Fatalf("corruption went unnoticed: %+v", res)
+	}
+	var scale float64
+	for _, v := range clean {
+		if a := math.Abs(v); a > scale {
+			scale = a
+		}
+	}
+	for i := range clean {
+		if math.Abs(healed[i]-clean[i]) > 1e-6*(1+scale) {
+			t.Fatalf("healed solution differs at %d: %g vs %g", i, healed[i], clean[i])
+		}
+	}
+}
+
+// TestHealingEscalatesToRestart feeds a corruption burst dense enough
+// that the first rollback lands inside it: the repeat detection must
+// escalate to a Krylov restart rather than looping on the checkpoint.
+func TestHealingEscalatesToRestart(t *testing.T) {
+	sys := buildSystem(t)
+	a := shifted(sys)
+	n := a.Dim()
+	b := solveRHS(n)
+	burst := map[int]float64{}
+	for c := 8; c <= 16; c++ {
+		burst[c] = 1e9
+	}
+	op := &corruptingOp{Operator: a, corrupt: burst}
+	x := make([]float64, n)
+	res, err := CG(op, b, x, Config{MaxIter: 6 * n, Tol: 1e-10, CheckEvery: 4, MaxRecoveries: 12})
+	if err != nil {
+		t.Fatalf("healing solve: %v", err)
+	}
+	if !res.Converged || res.Restarts < 1 {
+		t.Fatalf("expected convergence via ≥1 restart: %+v", res)
+	}
+}
+
+// TestHealingBounded: an operator corrupting every application can
+// never be outrun; the solve must fail with the recovery budget
+// exhausted rather than loop or return a wrong answer.
+func TestHealingBounded(t *testing.T) {
+	sys := buildSystem(t)
+	a := shifted(sys)
+	n := a.Dim()
+	b := solveRHS(n)
+	always := map[int]float64{}
+	for c := 1; c <= 100*n; c++ {
+		always[c] = 1e9
+	}
+	op := &corruptingOp{Operator: a, corrupt: always}
+	x := make([]float64, n)
+	res, err := CG(op, b, x, Config{MaxIter: 6 * n, Tol: 1e-10, CheckEvery: 3, MaxRecoveries: 4})
+	if err == nil {
+		t.Fatalf("persistently corrupted solve succeeded: %+v", res)
+	}
+	if !strings.Contains(err.Error(), "recoveries") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if res.Rollbacks+res.Restarts != 4 {
+		t.Fatalf("recovery budget not honored: %+v", res)
+	}
+}
+
+// TestNonFiniteWithoutHealing: with self-healing disarmed, a NaN from
+// the operator must surface as a hard error, not an endless iteration.
+func TestNonFiniteWithoutHealing(t *testing.T) {
+	sys := buildSystem(t)
+	a := shifted(sys)
+	n := a.Dim()
+	b := solveRHS(n)
+	op := &corruptingOp{Operator: a, corrupt: map[int]float64{3: math.NaN()}}
+	x := make([]float64, n)
+	_, err := CG(op, b, x, Config{MaxIter: 6 * n, Tol: 1e-10})
+	if err == nil {
+		t.Fatal("NaN-corrupted solve without healing returned no error")
+	}
+}
+
+// TestNonFiniteWithHealing: the same NaN with healing armed is detected
+// and recovered.
+func TestNonFiniteWithHealing(t *testing.T) {
+	sys := buildSystem(t)
+	a := shifted(sys)
+	n := a.Dim()
+	b := solveRHS(n)
+	op := &corruptingOp{Operator: a, corrupt: map[int]float64{3: math.NaN()}}
+	x := make([]float64, n)
+	res, err := CG(op, b, x, Config{MaxIter: 6 * n, Tol: 1e-10, CheckEvery: 5})
+	if err != nil || !res.Converged {
+		t.Fatalf("NaN with healing: %+v err=%v", res, err)
+	}
+	if res.Detections < 1 {
+		t.Fatalf("NaN went undetected: %+v", res)
+	}
+}
+
+// TestOperatorErrorPropagates: an Apply error aborts the solve — with
+// and without healing — and is wrapped for errors.Is.
+func TestOperatorErrorPropagates(t *testing.T) {
+	sys := buildSystem(t)
+	a := shifted(sys)
+	n := a.Dim()
+	b := solveRHS(n)
+	sentinel := errors.New("runtime poisoned")
+	for _, cfg := range []Config{
+		{MaxIter: 6 * n, Tol: 1e-10},
+		{MaxIter: 6 * n, Tol: 1e-10, CheckEvery: 5},
+	} {
+		op := &failingOp{Operator: a, failAt: 7, err: sentinel}
+		x := make([]float64, n)
+		_, err := CG(op, b, x, cfg)
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("CheckEvery=%d: operator error not propagated: %v", cfg.CheckEvery, err)
+		}
+	}
+}
+
+// TestHealingZeroOverheadPath: CheckEvery=0 must run the classic
+// iteration — no extra operator applications, no checkpoint traffic.
+func TestHealingZeroOverheadPath(t *testing.T) {
+	sys := buildSystem(t)
+	a := shifted(sys)
+	n := a.Dim()
+	b := solveRHS(n)
+	x := make([]float64, n)
+	res, err := CG(a, b, x, Config{MaxIter: 6 * n, Tol: 1e-9})
+	if err != nil || !res.Converged {
+		t.Fatalf("plain solve: %+v err=%v", res, err)
+	}
+	if res.SMVPs != res.Iterations+1 {
+		t.Fatalf("disarmed solve performed extra operator applications: %+v", res)
+	}
+	if res.Detections != 0 || res.Rollbacks != 0 || res.Restarts != 0 {
+		t.Fatalf("disarmed solve reported recovery activity: %+v", res)
+	}
+}
