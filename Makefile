@@ -3,7 +3,7 @@
 GO ?= go
 BENCH_DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: all build vet test race bench bench-json bench-smoke fuzz-smoke ci repro examples clean
+.PHONY: all build vet test race bench bench-json bench-smoke fuzz-smoke cover ci repro examples clean
 
 # Benchmarks must run at the host's full width: a throttled GOMAXPROCS
 # makes every parallel benchmark meaningless (the PE goroutines
@@ -25,11 +25,24 @@ test:
 race:
 	$(GO) test -race . ./internal/fault/ ./internal/obs/ ./internal/par/ ./internal/spark/
 
-# The gate CI runs: build + vet + full tests, plus the race detector on
-# the concurrency-heavy packages, plus a one-iteration benchmark smoke
-# run so the kernel entry points cannot silently rot, plus a few seconds
-# of fuzzing on the parsers that face untrusted input.
-ci: build vet test race bench-smoke fuzz-smoke
+# The gate CI runs: build + vet + full tests (as a coverage run with a
+# floor), plus the race detector on the concurrency-heavy packages, plus
+# a one-iteration benchmark smoke run so the kernel entry points cannot
+# silently rot, plus a few seconds of fuzzing on the parsers that face
+# untrusted input.
+ci: build vet cover race bench-smoke fuzz-smoke
+
+# Total statement coverage must not sink below the floor (measured
+# 88.1% when the gate was introduced; the margin absorbs run-to-run
+# noise from timing-dependent branches, not feature work shipped
+# without tests).
+COVER_FLOOR ?= 85.0
+
+cover:
+	$(GO) test -count=1 -coverprofile=coverage.out ./...
+	@$(GO) tool cover -func=coverage.out | awk -v floor=$(COVER_FLOOR) \
+		'/^total:/ { sub(/%/, "", $$3); printf "total coverage: %s%% (floor %s%%)\n", $$3, floor; \
+		 if ($$3 + 0 < floor + 0) { print "FAIL: coverage below floor"; exit 1 } }'
 
 # Regenerates every table/figure into results/ and records the raw
 # benchmark log (the EXPERIMENTS.md pipeline), then distills it into a
@@ -48,12 +61,15 @@ bench-json:
 bench-smoke:
 	$(GO) test -run='^$$' -bench='ParallelSMVP|OverlappedSMVP|FaultHookOverhead' -benchtime=1x -benchmem .
 
-# Short mutation runs of the fuzz targets guarding the two parsers that
-# accept untrusted input: the message-matrix schedule builder and the
-# fault-plan grammar. Go allows one -fuzz pattern per invocation, so
-# each target gets its own run.
+# Short mutation runs of the fuzz targets: the two parsers that accept
+# untrusted input (the message-matrix schedule builder and the
+# fault-plan grammar) plus the aggregation-invariant fuzzer that hunts
+# for schedules where the two-level fusion drops or reorders words. Go
+# allows one -fuzz pattern per invocation, so each target gets its own
+# run.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzFromMatrix -fuzztime=5s ./internal/comm/
+	$(GO) test -run='^$$' -fuzz=FuzzAggregate -fuzztime=5s ./internal/comm/
 	$(GO) test -run='^$$' -fuzz=FuzzParsePlan -fuzztime=5s ./internal/fault/
 
 # One-shot figure regeneration without the benchmark harness.
@@ -68,4 +84,4 @@ examples:
 	$(GO) run ./examples/implicit
 
 clean:
-	rm -rf results bench_output.txt test_output.txt
+	rm -rf results bench_output.txt test_output.txt coverage.out

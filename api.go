@@ -307,3 +307,71 @@ var (
 	Fig10Table = iq.Fig10Table
 	Fig11Table = iq.Fig11Table
 )
+
+// Two-level (node-aware) exchange aggregation: same-node-pair messages
+// fuse into one inter-node block plus on-node gather/scatter copies,
+// trading copied words for the Eq.(2) block-latency term. The
+// transform, its invariants, and the extended model are in
+// docs/COMMUNICATION.md.
+type (
+	// Aggregated is a fused two-level exchange plan (four schedule legs
+	// plus the PE→node mapping); build one with AggregateSchedule.
+	Aggregated = comm.Aggregated
+	// AggProperties are the extended-Eq.(2) inputs: inter-node and
+	// on-node (C, B) maxima of an aggregated plan.
+	AggProperties = model.AggProperties
+	// LocalParams are the on-node copy costs (T_l, T_w) the gather and
+	// scatter legs pay.
+	LocalParams = model.LocalParams
+	// AggregationRow is one node size of a blocks-vs-words sweep.
+	AggregationRow = report.AggregationRow
+)
+
+// AggregateSchedule fuses a flat exchange schedule under a PE→node
+// mapping. The aggregated plan moves bit-identical payloads: Dist
+// kernels with SetAggregation produce exactly the flat results.
+func AggregateSchedule(s *Schedule, nodeOf func(pe int32) int32) (*Aggregated, error) {
+	return comm.Aggregate(s, nodeOf)
+}
+
+// ContiguousNodes maps PEs to nodes in contiguous blocks of the given
+// size — the mapping cluster schedulers produce for packed ranks.
+func ContiguousNodes(size int) func(pe int32) int32 { return comm.ContiguousNodes(size) }
+
+// OnNode is the intra-node copy-cost preset used as LocalParams'
+// machine-shaped counterpart by the aggregated simulators.
+func OnNode() MachineParams { return machine.OnNode() }
+
+// Extended model: Eq.(2) split into an inter-node leg at machine
+// (Tl, Tw) and gather/scatter legs at on-node costs.
+var (
+	AchievedTcAggregated = model.AchievedTcAggregated
+	AggregatedEfficiency = model.AggregatedEfficiency
+	// BetaOf is the Eq.(2) β load-imbalance bound for any per-PE (C, B)
+	// pair, e.g. an Aggregated plan's InterCB.
+	BetaOf = model.BetaOf
+)
+
+// SimulateExchangeAggregated replays an aggregated plan's three phases
+// (gather, fused inter-node, scatter) on the discrete-event machine
+// simulator; p prices the inter-node leg, local the on-node copies.
+func SimulateExchangeAggregated(a *Aggregated, p, local MachineParams, net NetworkConfig) (machine.AggSimResult, error) {
+	return machine.SimulateAggregated(a, p, local, net)
+}
+
+// SimulateTorusAggregated replays the fused inter-node leg over a
+// contended torus of nodes (t.PEs() must equal a.NumNodes).
+func SimulateTorusAggregated(a *Aggregated, p, local MachineParams, t Torus, cfg TorusConfig) (network.AggResult, error) {
+	return network.SimulateAggregated(a, p, local, t, cfg)
+}
+
+// AggSweep evaluates the blocks-vs-words tradeoff of a scenario over a
+// range of node sizes (cmd/quakenet -agg).
+func AggSweep(s Scenario, p int, method Method, nodeSizes []int, cfg TorusConfig) ([]AggregationRow, error) {
+	return iq.AggSweep(s, p, method, nodeSizes, cfg)
+}
+
+// AggregationSummary renders a node-size sweep as a table.
+func AggregationSummary(title string, rows []AggregationRow) *Table {
+	return report.AggregationSummary(title, rows)
+}

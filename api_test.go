@@ -362,3 +362,132 @@ func TestFacadeReliability(t *testing.T) {
 		t.Fatalf("poisoned Dist accepted a later kernel: %v", err)
 	}
 }
+
+// TestFacadeAggregation drives the two-level exchange through the
+// public API: fuse a schedule, replay it on both simulators, run the
+// aggregated distributed kernel bit-identically, and sweep node sizes.
+func TestFacadeAggregation(t *testing.T) {
+	s, err := quake.ScenarioByName("sf10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Mesh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := quake.PartitionMesh(m, 8, quake.RCB, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := quake.Analyze(m, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := quake.ScheduleFromProfile(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := quake.AggregateSchedule(sched, quake.ContiguousNodes(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agg.Check(sched); err != nil {
+		t.Fatal(err)
+	}
+
+	// Extended model and β on the fused leg.
+	c, b := agg.InterCB()
+	if beta := quake.BetaOf(c, b); beta < 1 || beta >= 2 {
+		t.Errorf("fused β = %g", beta)
+	}
+	t3e := quake.T3E()
+	local := quake.LocalParams{Tl: quake.OnNode().Tl, Tw: quake.OnNode().Tw}
+	app := quake.AggProperties{
+		App:       quake.AppProperties{F: pr.Fmax(), Cmax: pr.Cmax(), Bmax: pr.Bmax()},
+		InterBmax: agg.InterBmax(), InterCmax: maxOf(c),
+		LocalBmax: 1, LocalCmax: agg.CopiedWords(),
+	}
+	if err := app.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tc := quake.AchievedTcAggregated(app, t3e.Tl, t3e.Tw, local); tc <= 0 {
+		t.Error("non-positive aggregated Tc")
+	}
+	if e := quake.AggregatedEfficiency(app, t3e.Tf, t3e.Tl, t3e.Tw, local); e <= 0 || e >= 1 {
+		t.Errorf("aggregated efficiency = %g", e)
+	}
+
+	// Both simulators accept the plan.
+	mres, err := quake.SimulateExchangeAggregated(agg, t3e, quake.OnNode(), quake.NetworkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mres.CommTime <= 0 {
+		t.Error("no machine-simulated aggregated time")
+	}
+	tor, err := quake.NewTorus(agg.NumNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nres, err := quake.SimulateTorusAggregated(agg, t3e, quake.OnNode(), tor, quake.TorusConfig{HopLatency: 100e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nres.CommTime <= 0 {
+		t.Error("no torus-simulated aggregated time")
+	}
+
+	// The distributed kernel with aggregation enabled matches flat.
+	mat := quake.SanFernando()
+	dist, err := quake.NewDist(m, mat, pt, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dist.Close()
+	x := make([]float64, 3*m.NumNodes())
+	for i := range x {
+		x[i] = math.Cos(float64(i))
+	}
+	flat := make([]float64, len(x))
+	if _, err := dist.SMVP(flat, x); err != nil {
+		t.Fatal(err)
+	}
+	if err := dist.SetAggregation(quake.ContiguousNodes(4)); err != nil {
+		t.Fatal(err)
+	}
+	fused := make([]float64, len(x))
+	if _, err := dist.SMVP(fused, x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range flat {
+		if fused[i] != flat[i] {
+			t.Fatalf("aggregated SMVP not bit-identical at %d", i)
+		}
+	}
+	if fb, _, on := dist.AggregationStats(); !on || fb <= 0 {
+		t.Errorf("aggregation stats: fused=%d enabled=%v", fb, on)
+	}
+
+	// Node-size sweep and its table.
+	rows, err := quake.AggSweep(s, 8, quake.RCB, []int{1, 2, 4}, quake.TorusConfig{HopLatency: 100e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := quake.AggregationSummary("tradeoff", rows).Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "fused B_max") {
+		t.Errorf("sweep table missing fused column:\n%s", sb.String())
+	}
+}
+
+func maxOf(v []int64) int64 {
+	var m int64
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

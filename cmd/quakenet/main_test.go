@@ -1,18 +1,53 @@
 package main
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
-func TestRun(t *testing.T) {
-	if err := run("sf10", 8, 100e-9); err != nil {
+func TestRunMethods(t *testing.T) {
+	// Both supported partitioners drive the full pipeline; sf10 at 8
+	// PEs keeps the meshing cheap.
+	for _, method := range []string{"rcb", "multilevel"} {
+		if err := run("sf10", 8, 100e-9, method, false, ""); err != nil {
+			t.Errorf("method %s: %v", method, err)
+		}
+	}
+}
+
+func TestRunAggregated(t *testing.T) {
+	if err := run("sf10", 8, 100e-9, "rcb", true, "2,4"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("bogus", 8, 0); err == nil {
+	if err := run("bogus", 8, 0, "rcb", false, ""); err == nil {
 		t.Error("unknown scenario accepted")
 	}
-	if err := run("sf10", -1, 0); err == nil {
+	if err := run("sf10", -1, 0, "rcb", false, ""); err == nil {
 		t.Error("bad PE count accepted")
+	}
+	if err := run("sf10", 8, 0, "metis", false, ""); err == nil {
+		t.Error("unknown method accepted")
+	}
+	if err := run("sf10", 8, 0, "rcb", true, "0,4"); err == nil {
+		t.Error("node size 0 accepted")
+	}
+	if err := run("sf10", 8, 0, "rcb", true, "x"); err == nil {
+		t.Error("non-numeric node size accepted")
+	}
+}
+
+func TestParseNodeSizes(t *testing.T) {
+	got, err := parseNodeSizes(" 2, 8 ,1,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{1, 2, 8}; !reflect.DeepEqual(got, want) {
+		t.Errorf("parseNodeSizes = %v, want %v", got, want)
+	}
+	if _, err := parseNodeSizes("-3"); err == nil {
+		t.Error("negative node size accepted")
 	}
 }

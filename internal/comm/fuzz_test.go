@@ -14,6 +14,70 @@ import (
 // same guarantee. Run the fuzzer with `go test -fuzz FuzzFromMatrix
 // ./internal/comm`; the seed corpus runs under plain `go test` (and
 // `make fuzz-smoke` gives it a few seconds of mutation in CI).
+// FuzzAggregate hardens the two-level transform: any schedule the
+// matrix decoder accepts, mapped onto nodes of an arbitrary (fuzzed)
+// size, must produce a plan that passes the full Check invariant set —
+// leg validity, leader discipline, destination ordering, and exact word
+// conservation — and the composition with SplitBlocks must preserve the
+// fused per-PE traffic. Run with `go test -fuzz FuzzAggregate
+// ./internal/comm`; `make fuzz-smoke` gives it a few seconds in CI.
+func FuzzAggregate(f *testing.F) {
+	f.Add(uint8(3), uint8(2), []byte{12, 0, 0, 0, 12, 0, 6, 0, 0, 0, 6, 0})
+	f.Add(uint8(8), uint8(1), []byte{})
+	f.Add(uint8(8), uint8(4), []byte{1, 0, 2, 0, 3, 0, 4, 0})
+	f.Add(uint8(16), uint8(3), []byte{9, 0, 9, 0, 9, 0})
+	f.Add(uint8(1), uint8(0), []byte{}) // node size 0: rejected mapping
+
+	f.Fuzz(func(t *testing.T, p, nodeSize uint8, data []byte) {
+		const maxP = 16
+		dim := int(p % (maxP + 1))
+		msg := make([][]int64, dim)
+		for i := range msg {
+			msg[i] = make([]int64, dim)
+			for j := range msg[i] {
+				off := 2 * (i*dim + j)
+				if off+2 <= len(data) {
+					msg[i][j] = int64(int16(binary.LittleEndian.Uint16(data[off : off+2])))
+				}
+			}
+		}
+		s, err := FromMatrix(msg)
+		if err != nil {
+			return
+		}
+		a, err := Aggregate(s, ContiguousNodes(int(nodeSize)))
+		if err != nil {
+			if nodeSize == 0 || dim == 0 {
+				return // rejected mapping or empty schedule: fine
+			}
+			t.Fatalf("Aggregate(p=%d, nodeSize=%d): %v", dim, nodeSize, err)
+		}
+		if err := a.Check(s); err != nil {
+			t.Fatalf("Check(p=%d, nodeSize=%d): %v", dim, nodeSize, err)
+		}
+		// Aggregating the split schedule must fuse to the same traffic.
+		split, err := s.SplitBlocks(4)
+		if err != nil {
+			t.Fatalf("SplitBlocks(4) on valid schedule: %v", err)
+		}
+		aSplit, err := Aggregate(split, ContiguousNodes(int(nodeSize)))
+		if err != nil {
+			t.Fatalf("Aggregate on split schedule: %v", err)
+		}
+		if err := aSplit.Check(split); err != nil {
+			t.Fatalf("Check on split plan: %v", err)
+		}
+		c0, b0 := a.InterCB()
+		c1, b1 := aSplit.InterCB()
+		for i := range c0 {
+			if c0[i] != c1[i] || b0[i] != b1[i] {
+				t.Fatalf("PE %d fused C/B differ across split inputs: %d/%d vs %d/%d",
+					i, c0[i], b0[i], c1[i], b1[i])
+			}
+		}
+	})
+}
+
 func FuzzFromMatrix(f *testing.F) {
 	encode := func(rows [][]int64) []byte {
 		var out []byte

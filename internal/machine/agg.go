@@ -1,0 +1,68 @@
+package machine
+
+// Discrete-event replay of the two-level exchange (comm.Aggregate).
+// The aggregated exchange runs as three dependent phases — intra-node
+// gather (merged with the same-node payload messages), the fused
+// leader-to-leader inter-node leg, and the intra-node scatter — each a
+// plain schedule replayed by Simulate. The intra-node legs run at the
+// node's local parameters (shared memory or an on-node interconnect);
+// only the fused leg pays the machine's block latency and, optionally,
+// the finite-bisection channel. Phases are barrier-separated (a leader
+// cannot fuse before its members have gathered, a member cannot
+// scatter before the fused block lands), so the phase times add.
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+)
+
+// OnNode returns the default intra-node parameters of the two-level
+// exchange: a memcpy-like staging copy between PEs of one node —
+// roughly 20× cheaper per block than the T3E's network interface and
+// several times its burst bandwidth, consistent with shared-memory
+// transfer costs. Tf is the T3E's (unused by the intra-node legs, but
+// kept valid for Validate).
+func OnNode() Params { return Params{Name: "on-node", Tf: 14e-9, Tl: 1e-6, Tw: 10e-9} }
+
+// AggSimResult reports the three-phase replay of an aggregated
+// exchange.
+type AggSimResult struct {
+	// Gather is the intra-node phase before the fused send: the Local
+	// payload messages merged with the Gather copy leg, at local
+	// parameters.
+	Gather SimResult
+	// Internode is the fused leader-to-leader leg at the machine's
+	// parameters, through the optional constrained network.
+	Internode SimResult
+	// Scatter is the intra-node distribution after the fused receive.
+	Scatter SimResult
+	// CommTime is the total exchange time: the three phase times in
+	// sequence.
+	CommTime float64
+}
+
+// SimulateAggregated replays an aggregated exchange: gather+local at
+// the local parameters, the fused inter-node leg at p through net, the
+// scatter at the local parameters again. With one PE per node the
+// local legs are empty and the fused leg is the flat schedule, so the
+// result reduces exactly to Simulate on the flat schedule.
+func SimulateAggregated(a *comm.Aggregated, p, local Params, net NetworkConfig) (AggSimResult, error) {
+	if err := p.Validate(); err != nil {
+		return AggSimResult{}, err
+	}
+	if local.Tl < 0 || local.Tw < 0 {
+		return AggSimResult{}, fmt.Errorf("machine: negative local parameters %+v", local)
+	}
+	intra, err := comm.Merge(a.Local, a.Gather)
+	if err != nil {
+		return AggSimResult{}, err
+	}
+	res := AggSimResult{
+		Gather:    Simulate(intra, local, NetworkConfig{}),
+		Internode: Simulate(a.Internode, p, net),
+		Scatter:   Simulate(a.Scatter, local, NetworkConfig{}),
+	}
+	res.CommTime = res.Gather.CommTime + res.Internode.CommTime + res.Scatter.CommTime
+	return res, nil
+}

@@ -1,0 +1,107 @@
+package machine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/comm"
+)
+
+func localPreset() Params { return Params{Name: "on-node", Tf: 1e-9, Tl: 0.5e-6, Tw: 5e-9} }
+
+func aggregateFor(t *testing.T, s *comm.Schedule, nodeSize int) *comm.Aggregated {
+	t.Helper()
+	a, err := comm.Aggregate(s, comm.ContiguousNodes(nodeSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestSimulateAggregatedReducesToFlat: with one PE per node the local
+// legs are empty and the fused leg is the flat schedule, so the
+// three-phase replay must equal the flat simulation bit for bit — on
+// random schedules, with and without the bisection channel.
+func TestSimulateAggregatedReducesToFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, p := range []int{2, 5, 8, 16} {
+		s := mustSchedule(t, randomMatrix(rng, p))
+		a := aggregateFor(t, s, 1)
+		for _, net := range []NetworkConfig{{}, {Transit: 1e-6}, {BisectionBytesPerSec: 50e6}} {
+			flat := Simulate(s, T3E(), net)
+			agg, err := SimulateAggregated(a, T3E(), localPreset(), net)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if agg.CommTime != flat.CommTime {
+				t.Fatalf("p=%d net=%+v: aggregated %g != flat %g",
+					p, net, agg.CommTime, flat.CommTime)
+			}
+			if agg.Gather.CommTime != 0 || agg.Scatter.CommTime != 0 {
+				t.Fatalf("p=%d: identity aggregation has local phases %g/%g",
+					p, agg.Gather.CommTime, agg.Scatter.CommTime)
+			}
+		}
+	}
+}
+
+// TestSimulateAggregatedPhasesAdd: the reported total is exactly the
+// sum of the three sequential phase times, and grouping everything
+// onto one node leaves no inter-node phase at all.
+func TestSimulateAggregatedPhasesAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := mustSchedule(t, randomMatrix(rng, 12))
+	a := aggregateFor(t, s, 4)
+	res, err := SimulateAggregated(a, T3E(), localPreset(), NetworkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := res.Gather.CommTime + res.Internode.CommTime + res.Scatter.CommTime
+	if math.Abs(res.CommTime-sum) > 1e-18 {
+		t.Fatalf("CommTime %g != phase sum %g", res.CommTime, sum)
+	}
+	one := aggregateFor(t, s, 12)
+	all, err := SimulateAggregated(one, T3E(), localPreset(), NetworkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Internode.CommTime != 0 || all.Scatter.CommTime != 0 {
+		t.Fatalf("one-node plan has inter-node %g / scatter %g",
+			all.Internode.CommTime, all.Scatter.CommTime)
+	}
+}
+
+// TestSimulateAggregatedBeatsFlatWhenLatencyBound: the transform's
+// reason to exist — on a latency-dominated machine (large T_l, cheap
+// local copies) the fused exchange finishes sooner than the flat one.
+func TestSimulateAggregatedBeatsFlatWhenLatencyBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := mustSchedule(t, randomMatrix(rng, 16))
+	a := aggregateFor(t, s, 4)
+	// Make blocks expensive and words (and local copies) nearly free.
+	p := Params{Name: "latency-bound", Tf: 1e-9, Tl: 100e-6, Tw: 1e-9}
+	local := Params{Name: "on-node", Tf: 1e-9, Tl: 0.1e-6, Tw: 0.5e-9}
+	flat := Simulate(s, p, NetworkConfig{})
+	agg, err := SimulateAggregated(a, p, local, NetworkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.CommTime >= flat.CommTime {
+		t.Fatalf("aggregated %g not below flat %g on a latency-bound machine",
+			agg.CommTime, flat.CommTime)
+	}
+}
+
+// TestSimulateAggregatedRejects: invalid machine or local parameters
+// are refused.
+func TestSimulateAggregatedRejects(t *testing.T) {
+	s := mustSchedule(t, [][]int64{{0, 6}, {6, 0}})
+	a := aggregateFor(t, s, 2)
+	if _, err := SimulateAggregated(a, Params{}, localPreset(), NetworkConfig{}); err == nil {
+		t.Error("zero machine parameters accepted")
+	}
+	if _, err := SimulateAggregated(a, T3E(), Params{Tf: 1e-9, Tl: -1}, NetworkConfig{}); err == nil {
+		t.Error("negative local latency accepted")
+	}
+}

@@ -1,0 +1,154 @@
+package model
+
+// This file extends the Equation (2) machinery to the two-level
+// (node-aware) exchange of comm.Aggregate. The flat model charges every
+// block the same latency T_l; on a clustered machine the blocks that
+// matter are the inter-node ones, while the gather/scatter copy legs
+// move words between PEs of one node at a much cheaper latency and a
+// much higher bandwidth. The extended model therefore splits the
+// communication term by level:
+//
+//	T_comm = B_inter·T_l + C_inter·T_w + B_local·T_l_loc + C_local·T_w_loc
+//
+// and the amortized per-payload-word time becomes
+//
+//	T_c = (B_inter/C_max)·T_l + (C_inter/C_max)·T_w
+//	    + (B_local/C_max)·T_l_loc + (C_local/C_max)·T_w_loc,
+//
+// where C_max is still the FLAT payload word count — the aggregation's
+// copied words appear as the C_local excess, so the comparison against
+// RequiredTc (Equation 1) stays apples-to-apples: both describe the
+// time to deliver the application's payload.
+
+import (
+	"fmt"
+	"math"
+)
+
+// AggProperties are the per-PE maxima of an aggregated exchange, the
+// inputs to the extended Equation (2). All counts follow the paper's
+// convention (sent plus received by one PE).
+type AggProperties struct {
+	// App carries the flat F/Cmax/Bmax; Cmax is the payload normalizer.
+	App AppProperties
+	// InterBmax and InterCmax are the max inter-node blocks and words
+	// of any PE (the fused leader-to-leader leg).
+	InterBmax, InterCmax int64
+	// LocalBmax and LocalCmax are the max intra-node blocks and words
+	// of any PE across the local, gather, and scatter legs.
+	LocalBmax, LocalCmax int64
+}
+
+// Validate reports whether the properties can drive the model.
+func (a AggProperties) Validate() error {
+	if err := a.App.Validate(); err != nil {
+		return err
+	}
+	if a.InterBmax < 0 || a.InterCmax < 0 || a.LocalBmax < 0 || a.LocalCmax < 0 {
+		return fmt.Errorf("model: negative aggregated maxima %+v", a)
+	}
+	if (a.InterCmax == 0) != (a.InterBmax == 0) {
+		return fmt.Errorf("model: InterCmax (%d) and InterBmax (%d) must be zero together",
+			a.InterCmax, a.InterBmax)
+	}
+	return nil
+}
+
+// LocalParams are the intra-node communication parameters: the latency
+// and per-word time of a copy between two PEs of the same node (shared
+// memory or an on-node interconnect).
+type LocalParams struct {
+	Tl float64 // intra-node per-block latency
+	Tw float64 // intra-node per-word time
+}
+
+// AchievedTcAggregated evaluates the extended Equation (2): the
+// amortized time per PAYLOAD word of the two-level exchange. With no
+// local traffic and the fused leg equal to the flat schedule (node size
+// one), it reduces exactly to AchievedTc.
+func AchievedTcAggregated(a AggProperties, Tl, Tw float64, local LocalParams) float64 {
+	if a.App.Cmax <= 0 {
+		panic("model: AchievedTcAggregated needs positive Cmax")
+	}
+	c := float64(a.App.Cmax)
+	return float64(a.InterBmax)/c*Tl + float64(a.InterCmax)/c*Tw +
+		float64(a.LocalBmax)/c*local.Tl + float64(a.LocalCmax)/c*local.Tw
+}
+
+// AggregatedPhaseTimes returns the modeled computation and
+// communication phase times for one SMVP under the two-level exchange.
+func AggregatedPhaseTimes(a AggProperties, Tf, Tl, Tw float64, local LocalParams) (tcomp, tcomm float64) {
+	tcomp = float64(a.App.F) * Tf
+	tcomm = float64(a.InterBmax)*Tl + float64(a.InterCmax)*Tw +
+		float64(a.LocalBmax)*local.Tl + float64(a.LocalCmax)*local.Tw
+	return tcomp, tcomm
+}
+
+// AggregatedEfficiency returns the modeled efficiency of the SMVP under
+// the two-level exchange.
+func AggregatedEfficiency(a AggProperties, Tf, Tl, Tw float64, local LocalParams) float64 {
+	tcomp, tcomm := AggregatedPhaseTimes(a, Tf, Tl, Tw, local)
+	return tcomp / (tcomp + tcomm)
+}
+
+// AggregatedLatencyBudget inverts the extended Equation (2) for the
+// inter-node block latency: the T_l at which the aggregated exchange
+// still meets the required amortized word time tc, given the burst word
+// time and the local-leg costs. A non-positive result means the target
+// is infeasible regardless of latency. Because aggregation divides by
+// the (much smaller) InterBmax, its latency budget is correspondingly
+// larger than LatencyBudget's — that relaxation is the whole point of
+// the transform.
+func AggregatedLatencyBudget(a AggProperties, tc, tw float64, local LocalParams) float64 {
+	if a.InterBmax <= 0 {
+		panic("model: AggregatedLatencyBudget needs positive InterBmax")
+	}
+	c := float64(a.App.Cmax)
+	rest := float64(a.InterCmax)/c*tw +
+		float64(a.LocalBmax)/c*local.Tl + float64(a.LocalCmax)/c*local.Tw
+	return (tc - rest) * c / float64(a.InterBmax)
+}
+
+// BetaOf computes the paper's β error bound from arbitrary per-PE word
+// and block vectors:
+//
+//	β = 1 + min over PEs i of max{ C_max(B_max−B_i)/(C_i·B_max),
+//	                               B_max(C_max−C_i)/(B_i·C_max) },
+//
+// the factor by which B_max·T_l + C_max·T_w can overestimate the true
+// max over PEs of B_i·T_l + C_i·T_w. It is 1 when one PE attains both
+// maxima and provably below 2; PEs with no traffic are skipped. The
+// flat exchange evaluates it on the partition profile's C/B
+// (partition.Profile.Beta delegates here); the aggregated exchange on
+// the fused leg's per-PE vectors (comm.Aggregated.InterCB), where the
+// leader concentration typically drags β back toward 1.
+func BetaOf(c, b []int64) float64 {
+	var cmax, bmax int64
+	for i := range c {
+		if c[i] > cmax {
+			cmax = c[i]
+		}
+		if b[i] > bmax {
+			bmax = b[i]
+		}
+	}
+	if cmax == 0 || bmax == 0 {
+		return 1
+	}
+	best := math.Inf(1)
+	for i := range c {
+		ci, bi := c[i], b[i]
+		if ci == 0 || bi == 0 {
+			continue
+		}
+		t1 := float64(cmax) * float64(bmax-bi) / (float64(ci) * float64(bmax))
+		t2 := float64(bmax) * float64(cmax-ci) / (float64(bi) * float64(cmax))
+		if m := math.Max(t1, t2); m < best {
+			best = m
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 1
+	}
+	return 1 + best
+}

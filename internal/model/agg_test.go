@@ -1,0 +1,108 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAchievedTcAggregatedReducesToFlat(t *testing.T) {
+	// Node size one: the fused leg IS the flat schedule and there are
+	// no local legs, so the extended model must equal Equation (2).
+	app := AppProperties{F: 1e6, Cmax: 9000, Bmax: 48}
+	a := AggProperties{App: app, InterBmax: app.Bmax, InterCmax: app.Cmax}
+	tl, tw := 22e-6, 55e-9
+	got := AchievedTcAggregated(a, tl, tw, LocalParams{})
+	want := AchievedTc(app, tl, tw)
+	if math.Abs(got-want) > 1e-18 {
+		t.Errorf("AchievedTcAggregated = %g, want flat %g", got, want)
+	}
+	ec, em := AggregatedPhaseTimes(a, 10e-9, tl, tw, LocalParams{})
+	fc, fm := PhaseTimes(app, 10e-9, tl, tw)
+	if ec != fc || math.Abs(em-fm) > 1e-15 {
+		t.Errorf("phase times %g/%g, want %g/%g", ec, em, fc, fm)
+	}
+}
+
+func TestAchievedTcAggregatedTradesBlocksForWords(t *testing.T) {
+	// The aggregation's bargain: far fewer inter-node blocks, some
+	// extra copied words at cheap local rates. On a latency-dominated
+	// machine the aggregated Tc must come out lower.
+	app := AppProperties{F: 1e6, Cmax: 9000, Bmax: 48}
+	agg := AggProperties{
+		App:       app,
+		InterBmax: 8,        // 6× fewer expensive blocks
+		InterCmax: app.Cmax, // payload unchanged
+		LocalBmax: 60,       // gather/scatter legs
+		LocalCmax: 2 * 9000, // every payload word copied twice on-node
+	}
+	tl, tw := 22e-6, 55e-9
+	local := LocalParams{Tl: 0.5e-6, Tw: 5e-9}
+	flat := AchievedTc(app, tl, tw)
+	hier := AchievedTcAggregated(agg, tl, tw, local)
+	if hier >= flat {
+		t.Errorf("aggregated Tc %g not below flat %g on a latency-bound machine", hier, flat)
+	}
+	if e := AggregatedEfficiency(agg, 10e-9, tl, tw, local); e <= Efficiency(app, 10e-9, tl, tw) {
+		t.Errorf("aggregated efficiency %g not above flat", e)
+	}
+}
+
+func TestAggregatedLatencyBudget(t *testing.T) {
+	app := AppProperties{F: 1e6, Cmax: 9000, Bmax: 48}
+	agg := AggProperties{App: app, InterBmax: 8, InterCmax: 9000, LocalBmax: 60, LocalCmax: 18000}
+	local := LocalParams{Tl: 0.5e-6, Tw: 5e-9}
+	tc := RequiredTc(app, 0.8, 10e-9)
+	tw := 55e-9
+	budget := AggregatedLatencyBudget(agg, tc, tw, local)
+	// Plugging the budget back in must achieve tc exactly.
+	check := AchievedTcAggregated(agg, budget, tw, local)
+	if math.Abs(check-tc) > 1e-15 {
+		t.Errorf("achieved Tc at budget latency = %g, want %g", check, tc)
+	}
+	// The aggregated budget must dominate the flat one: the fused leg
+	// amortizes each expensive block over more payload.
+	if flat := LatencyBudget(app, tc, tw); budget <= flat {
+		t.Errorf("aggregated latency budget %g not above flat %g", budget, flat)
+	}
+}
+
+func TestAggPropertiesValidate(t *testing.T) {
+	app := AppProperties{F: 100, Cmax: 10, Bmax: 2}
+	good := AggProperties{App: app, InterBmax: 1, InterCmax: 10}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid properties rejected: %v", err)
+	}
+	cases := []AggProperties{
+		{App: AppProperties{F: 0, Cmax: 10, Bmax: 2}},          // bad app
+		{App: app, InterBmax: -1},                              // negative
+		{App: app, InterBmax: 1, InterCmax: 0},                 // B/C not zero together
+		{App: app, InterBmax: 0, InterCmax: 5},                 // C without B
+		{App: app, InterBmax: 1, InterCmax: 10, LocalCmax: -3}, // negative local
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestBetaOfMatchesKnownCases(t *testing.T) {
+	// One PE attains both maxima: β = 1.
+	if b := BetaOf([]int64{100, 40}, []int64{8, 4}); b != 1 {
+		t.Errorf("dominating PE: β = %g, want 1", b)
+	}
+	// No traffic at all: β = 1 by convention.
+	if b := BetaOf([]int64{0, 0}, []int64{0, 0}); b != 1 {
+		t.Errorf("silent PEs: β = %g, want 1", b)
+	}
+	// Split maxima: PE0 has C_max, PE1 has B_max; β ∈ (1, 2).
+	b := BetaOf([]int64{100, 50}, []int64{4, 8})
+	if b <= 1 || b >= 2 {
+		t.Errorf("split maxima: β = %g, want in (1,2)", b)
+	}
+	// Silent PEs are skipped, not counted as minimizers.
+	b2 := BetaOf([]int64{100, 50, 0}, []int64{4, 8, 0})
+	if b2 != b {
+		t.Errorf("silent PE changed β: %g vs %g", b2, b)
+	}
+}

@@ -1,0 +1,62 @@
+package network
+
+// Contended-torus replay of the two-level exchange (comm.Aggregate).
+// Under aggregation only the fused leader-to-leader blocks enter the
+// machine's interconnect, so the torus is a torus of NODES: one torus
+// node per aggregation node, carrying the by-node fused schedule. The
+// intra-node gather and scatter legs never leave a node; they are
+// charged at the local parameters through the uncontended PE-side
+// model (machine.Simulate with an infinite network).
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/machine"
+)
+
+// AggResult reports the three-phase torus replay of an aggregated
+// exchange.
+type AggResult struct {
+	// GatherTime and ScatterTime are the intra-node phase times at the
+	// local parameters (no torus involvement).
+	GatherTime  float64
+	ScatterTime float64
+	// Internode is the fused leg's contended replay over the torus of
+	// nodes.
+	Internode Result
+	// CommTime is the total: gather, then the fused leg, then scatter.
+	CommTime float64
+}
+
+// SimulateAggregated replays an aggregated exchange over a torus of
+// nodes: t must have exactly a.NumNodes PEs. The fused leg runs the
+// by-node schedule through the contended torus at the machine's
+// parameters; the gather (merged with the same-node payload messages)
+// and scatter legs run at the local parameters off the torus. With one
+// PE per node and the flat torus, the result reduces exactly to
+// Simulate on the flat schedule.
+func SimulateAggregated(a *comm.Aggregated, p, local machine.Params, t Torus, cfg Config) (AggResult, error) {
+	if t.PEs() != a.NumNodes {
+		return AggResult{}, fmt.Errorf("network: torus has %d PEs, aggregation %d nodes",
+			t.PEs(), a.NumNodes)
+	}
+	if local.Tl < 0 || local.Tw < 0 {
+		return AggResult{}, fmt.Errorf("network: negative local parameters %+v", local)
+	}
+	intra, err := comm.Merge(a.Local, a.Gather)
+	if err != nil {
+		return AggResult{}, err
+	}
+	inter, err := Simulate(a.InternodeByNode(), p, t, cfg)
+	if err != nil {
+		return AggResult{}, err
+	}
+	res := AggResult{
+		GatherTime:  machine.Simulate(intra, local, machine.NetworkConfig{}).CommTime,
+		ScatterTime: machine.Simulate(a.Scatter, local, machine.NetworkConfig{}).CommTime,
+		Internode:   inter,
+	}
+	res.CommTime = res.GatherTime + res.Internode.CommTime + res.ScatterTime
+	return res, nil
+}

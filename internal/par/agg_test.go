@@ -1,0 +1,230 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/partition"
+)
+
+// TestSMVPAggregatedBitIdentical pins the aggregation correctness
+// contract: for every node size — identity (one PE per node), proper
+// grouping, and one-node (everything local) — the aggregated SMVP must
+// produce exactly the flat kernel's bits. The staging copies move
+// unmodified float64s and the receive loop keeps the flat neighbor
+// order, so even the floating-point rounding must match, not just the
+// mathematical value.
+func TestSMVPAggregatedBitIdentical(t *testing.T) {
+	f := newFixture(t)
+	d, _ := f.dist(t, 6, partition.RCB)
+	y, x := vecs(d)
+	want := make([]float64, len(y))
+	if _, err := d.SMVP(want, x); err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int{1, 2, 3, 4, 6, 8} {
+		t.Run(fmt.Sprintf("nodesize=%d", size), func(t *testing.T) {
+			if err := d.SetAggregation(comm.ContiguousNodes(size)); err != nil {
+				t.Fatal(err)
+			}
+			defer func() {
+				if err := d.SetAggregation(nil); err != nil {
+					t.Fatal(err)
+				}
+			}()
+			for i := range y {
+				y[i] = 0
+			}
+			if _, err := d.SMVP(y, x); err != nil {
+				t.Fatal(err)
+			}
+			for i := range y {
+				if y[i] != want[i] {
+					t.Fatalf("y[%d] = %x, flat %x (0 ULP required)", i, y[i], want[i])
+				}
+			}
+		})
+	}
+	// Disabled again: still flat-identical.
+	for i := range y {
+		y[i] = 0
+	}
+	if _, err := d.SMVP(y, x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatalf("after disabling: y[%d] = %x, want %x", i, y[i], want[i])
+		}
+	}
+}
+
+// TestSMVPZeroAllocAggregated extends the runtime's tentpole property
+// to the two-level exchange: all staging buffers and copy lists are
+// built by SetAggregation, so the aggregated steady-state kernel must
+// still allocate nothing — with metrics both off and on.
+func TestSMVPZeroAllocAggregated(t *testing.T) {
+	f := newFixture(t)
+	d, _ := f.dist(t, 4, partition.RCB)
+	if err := d.SetAggregation(comm.ContiguousNodes(2)); err != nil {
+		t.Fatal(err)
+	}
+	y, x := vecs(d)
+	run := func() {
+		if _, err := d.SMVP(y, x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, metrics := range []bool{false, true} {
+		prev := obs.Enabled()
+		obs.SetEnabled(metrics)
+		run() // steady state
+		if avg := testing.AllocsPerRun(10, run); avg != 0 {
+			t.Errorf("aggregated SMVP (metrics=%v): %.1f allocs/op, want 0", metrics, avg)
+		}
+		obs.SetEnabled(prev)
+	}
+}
+
+// TestAggregationStats checks the plan accounting: a fresh Dist
+// reports disabled; an enabled plan reports one fused block per
+// ordered node pair with traffic (cross-checked against comm.Aggregate
+// on the same exchange topology) and a positive staged-byte volume;
+// disabling zeroes it again.
+func TestAggregationStats(t *testing.T) {
+	f := newFixture(t)
+	d, _ := f.dist(t, 4, partition.RCB)
+	if _, _, enabled := d.AggregationStats(); enabled {
+		t.Fatal("fresh Dist reports aggregation enabled")
+	}
+	if err := d.SetAggregation(comm.ContiguousNodes(2)); err != nil {
+		t.Fatal(err)
+	}
+	fused, staged, enabled := d.AggregationStats()
+	if !enabled {
+		t.Fatal("enabled plan reports disabled")
+	}
+	if fused <= 0 || staged <= 0 {
+		t.Fatalf("fused=%d staged=%d, want both positive", fused, staged)
+	}
+	// Cross-check against the comm-layer transform on the same topology:
+	// the runtime's fused block count must equal the Aggregated plan's.
+	s := distSchedule(t, d)
+	a, err := comm.Aggregate(s, comm.ContiguousNodes(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := totalBlocks(a.Internode); fused != want {
+		t.Fatalf("runtime fused blocks = %d, comm.Aggregate says %d", fused, want)
+	}
+	if err := d.SetAggregation(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, enabled := d.AggregationStats(); enabled {
+		t.Fatal("disabled plan still reports enabled")
+	}
+}
+
+// distSchedule rebuilds the flat comm.Schedule of a Dist's exchange
+// lists (3 words per shared node per direction).
+func distSchedule(t *testing.T, d *Dist) *comm.Schedule {
+	t.Helper()
+	msg := make([][]int64, d.P)
+	for i := range msg {
+		msg[i] = make([]int64, d.P)
+	}
+	for pe := 0; pe < d.P; pe++ {
+		for k, nbr := range d.Neighbors[pe] {
+			msg[pe][nbr] = int64(3 * len(d.Shared[pe][k]))
+		}
+	}
+	s, err := comm.FromMatrix(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func totalBlocks(s *comm.Schedule) int64 {
+	var n int64
+	for _, msgs := range s.Out {
+		n += int64(len(msgs))
+	}
+	return n
+}
+
+// TestSetAggregationRejects: a mapping that assigns a negative node id
+// is refused and leaves the Dist flat; a closed Dist refuses the swap.
+func TestSetAggregationRejects(t *testing.T) {
+	f := newFixture(t)
+	d, _ := f.dist(t, 4, partition.RCB)
+	if err := d.SetAggregation(func(pe int32) int32 { return -1 }); err == nil {
+		t.Fatal("negative node mapping accepted")
+	}
+	if err := d.SetAggregation(comm.ContiguousNodes(0)); err == nil {
+		t.Fatal("ContiguousNodes(0) mapping accepted")
+	}
+	if _, _, enabled := d.AggregationStats(); enabled {
+		t.Fatal("rejected mapping left aggregation enabled")
+	}
+	y, x := vecs(d)
+	if _, err := d.SMVP(y, x); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	if err := d.SetAggregation(comm.ContiguousNodes(2)); err == nil {
+		t.Fatal("SetAggregation on closed Dist succeeded")
+	}
+}
+
+// TestPanicContainmentAggregated repeats the fault containment check
+// with the two-level exchange installed: the aggregated kernel has an
+// extra intra-kernel barrier, and a PE that dies before reaching it
+// must not strand the leaders waiting to gather — the poisoned barrier
+// drains everyone and the kernel reports ErrPoisoned.
+func TestPanicContainmentAggregated(t *testing.T) {
+	f := newFixture(t)
+	d, _ := f.dist(t, 4, partition.RCB)
+	if err := d.SetAggregation(comm.ContiguousNodes(2)); err != nil {
+		t.Fatal(err)
+	}
+	in, err := d.InjectFaults(mustPlan(t, "panic:pe=1,iter=1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, x := vecs(d)
+	done := make(chan error, 1)
+	go func() {
+		_, err := d.SMVP(y, x)
+		done <- err
+	}()
+	select {
+	case err = <-done:
+	case <-time.After(watchdog):
+		t.Fatal("injected PE panic deadlocked the aggregated kernel")
+	}
+	if !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("aggregated faulted kernel error: %v, want ErrPoisoned", err)
+	}
+	if got := in.Count(fault.Panic); got != 1 {
+		t.Fatalf("injector counted %d panics, want 1", got)
+	}
+	if _, err := d.SMVP(y, x); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("SMVP after poison: %v", err)
+	}
+	closed := make(chan struct{})
+	go func() {
+		d.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(watchdog):
+		t.Fatal("Close deadlocked on a poisoned aggregated Dist")
+	}
+}

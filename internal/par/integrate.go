@@ -184,8 +184,12 @@ func (s *DistSim) Run(coords []geom.Vec3, cfg fem.SimConfig) (*DistSimResult, er
 		rt.met.exchMsgs.Add(int64(len(d.Shared[pe])))
 		sp.End()
 
-		// All posts must be visible before anyone reads them.
-		rt.bar.await()
+		// All posts must be visible before anyone reads them. A
+		// poisoned release means a peer died with its posts possibly
+		// in flight — bail out rather than race on them.
+		if !rt.bar.await() {
+			return
+		}
 
 		sp = obs.StartSpanPE("exchange", "par.step.recv", pe)
 		t0 = time.Now()

@@ -66,14 +66,20 @@ type distMetrics struct {
 	exchMsgs  *obs.Counter
 	msgBytes  *obs.Histogram
 	exchBytes []*obs.Counter
+	// Aggregated-exchange counters: fused inter-node blocks sent and
+	// bytes gather-copied into staging (zero while aggregation is off).
+	aggFused       *obs.Counter
+	aggStagedBytes *obs.Counter
 }
 
 func newDistMetrics(p int) distMetrics {
 	m := distMetrics{
-		smvps:     obs.GetCounter("par.smvp.calls"),
-		exchMsgs:  obs.GetCounter("par.exchange.msgs"),
-		msgBytes:  obs.GetHistogram("par.exchange.msg_bytes"),
-		exchBytes: make([]*obs.Counter, p),
+		smvps:          obs.GetCounter("par.smvp.calls"),
+		exchMsgs:       obs.GetCounter("par.exchange.msgs"),
+		msgBytes:       obs.GetHistogram("par.exchange.msg_bytes"),
+		exchBytes:      make([]*obs.Counter, p),
+		aggFused:       obs.GetCounter("par.exchange.agg.fused_blocks"),
+		aggStagedBytes: obs.GetCounter("par.exchange.agg.staged_bytes"),
 	}
 	for i := 0; i < p; i++ {
 		m.exchBytes[i] = obs.GetCounter(fmt.Sprintf("par.exchange.bytes.pe%d", i))
@@ -316,6 +322,7 @@ func (rt *peRuntime) phasedPE(pe int) {
 	nodes := rt.nodes[pe]
 	x, y := rt.x, rt.y
 	fi, iter := rt.fi, rt.iter
+	agg := rt.agg
 	for l, g := range nodes {
 		copy(ws.x[3*l:3*l+3], x[3*g:3*g+3])
 	}
@@ -355,17 +362,39 @@ func (rt *peRuntime) phasedPE(pe int) {
 
 	// Every post must be visible before any PE reads its neighbors'
 	// buffers; the barrier wait itself is not attributed to Comm (the
-	// pre-runtime kernel's pool barrier was likewise uncounted).
-	rt.bar.await()
+	// pre-runtime kernel's pool barrier was likewise uncounted). A
+	// poisoned release means a peer died mid-kernel and its posts (or a
+	// leader's staging copies) may still be in flight — bail out rather
+	// than race on them.
+	if !rt.bar.await() {
+		return
+	}
+
+	// Two-level exchange: the node leaders gather their members' posted
+	// buffers into the inter-node staging areas (the fused send), and a
+	// second barrier makes the staging visible before anyone reads it.
+	var recvBufs [][]float64
+	if agg != nil {
+		rt.aggExchange(pe, agg)
+		if !rt.bar.await() {
+			return
+		}
+		recvBufs = agg.recv[pe]
+	}
 
 	// Communication phase, step 2: receive and accumulate, reading the
 	// neighbors' send buffers in place (rev locates the buffer destined
-	// for this PE on the other side).
+	// for this PE on the other side). Under aggregation the remote
+	// buffers come from the staging areas instead — same values, same
+	// neighbor order, so the sums are bit-identical.
 	sp = obs.StartSpanPE("exchange", "par.smvp.recv", pe)
 	start = time.Now()
 	var recvd int64
 	for k, nbr := range rt.neighbors[pe] {
 		buf := rt.ws[nbr].send[ws.rev[k]]
+		if recvBufs != nil {
+			buf = recvBufs[k]
+		}
 		locals := rt.shared[pe][k]
 		reps := 1
 		if fi != nil {

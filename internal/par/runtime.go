@@ -56,11 +56,18 @@ func newBarrier(n int) *barrier {
 // current waiters are released and later arrivals pass straight
 // through, which is what lets the runtime drain a kernel whose PE died
 // before reaching the phase synchronization.
-func (b *barrier) await() {
+//
+// The return value reports whether the round completed normally. A
+// false return means the caller was released by poison, NOT by the
+// arrival of all parties — the barrier made no visibility guarantee, so
+// kernel bodies must bail out instead of touching shared buffers whose
+// writers may still be mid-phase. (The output is garbage either way;
+// the coordinator turns the recorded fault into ErrPoisoned.)
+func (b *barrier) await() bool {
 	b.mu.Lock()
 	if b.broken {
 		b.mu.Unlock()
-		return
+		return false
 	}
 	gen := b.gen
 	b.count++
@@ -69,12 +76,14 @@ func (b *barrier) await() {
 		b.gen++
 		b.mu.Unlock()
 		b.cond.Broadcast()
-		return
+		return true
 	}
 	for gen == b.gen && !b.broken {
 		b.cond.Wait()
 	}
+	ok := !b.broken
 	b.mu.Unlock()
+	return ok
 }
 
 // poison permanently breaks the barrier, releasing every waiter.
@@ -158,6 +167,11 @@ type peRuntime struct {
 	// needed — the same discipline as body/x/y.
 	fi   *fault.Injector
 	iter int64
+
+	// agg is the installed two-level exchange plan, nil for the flat
+	// exchange (the default). Same discipline as fi: swapped under the
+	// dispatch mutex, read by PEs between the barriers. See agg.go.
+	agg *aggState
 
 	// Panic containment: runBody records recovered PE panics under
 	// faultMu; the coordinator collects them after the done barrier and

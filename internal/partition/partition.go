@@ -62,6 +62,22 @@ func (m Method) String() string {
 	return fmt.Sprintf("method(%d)", int(m))
 }
 
+// Methods lists every built-in partitioner.
+func Methods() []Method {
+	return []Method{RCB, Inertial, Random, Linear, StripesZ, Multilevel}
+}
+
+// MethodByName returns the method whose String() matches name, for
+// command-line -method flags.
+func MethodByName(name string) (Method, error) {
+	for _, m := range Methods() {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("partition: unknown method %q", name)
+}
+
 // Partition maps each mesh element to a PE (subdomain).
 type Partition struct {
 	P      int

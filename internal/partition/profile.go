@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/mesh"
+	"repro/internal/model"
 	"repro/internal/obs"
 )
 
@@ -247,29 +248,10 @@ func (pr *Profile) CompCommRatio() float64 {
 //
 // β is 1 when some PE attains both maxima and is provably below 2. PEs
 // that do not communicate at all are skipped (they cannot bound the
-// communication phase).
-func (pr *Profile) Beta() float64 {
-	cmax, bmax := pr.Cmax(), pr.Bmax()
-	if cmax == 0 || bmax == 0 {
-		return 1
-	}
-	best := math.Inf(1)
-	for i := 0; i < pr.P; i++ {
-		ci, bi := pr.C[i], pr.B[i]
-		if ci == 0 || bi == 0 {
-			continue
-		}
-		t1 := float64(cmax) * float64(bmax-bi) / (float64(ci) * float64(bmax))
-		t2 := float64(bmax) * float64(cmax-ci) / (float64(bi) * float64(cmax))
-		if m := math.Max(t1, t2); m < best {
-			best = m
-		}
-	}
-	if math.IsInf(best, 1) {
-		return 1
-	}
-	return 1 + best
-}
+// communication phase). The computation lives in model.BetaOf so the
+// aggregated exchange can evaluate the same bound on its fused leg's
+// per-PE vectors.
+func (pr *Profile) Beta() float64 { return model.BetaOf(pr.C, pr.B) }
 
 // BisectionWords returns the number of words crossing the canonical
 // bisection (PEs 0..P/2-1 versus the rest) during one exchange phase:

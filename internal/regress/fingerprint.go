@@ -1,0 +1,96 @@
+// Package regress computes stable fingerprints of the pipeline's
+// intermediate products — meshes, partitions, communication schedules,
+// rendered model tables — so golden tests can pin the entire
+// octree→mesh→partition→model chain with a handful of 64-bit values.
+// Any drift in the mesher's refinement rule, the partitioner's
+// splitting order, or a model formula changes a fingerprint and fails
+// the suite loudly, which is what makes multi-layer refactors (like
+// the two-level exchange) safe to land.
+//
+// Fingerprints are FNV-1a hashes over exact bit patterns: float64
+// coordinates are hashed via math.Float64bits, so even a 1-ULP
+// perturbation is detected. They are portable across platforms (Go
+// floats are IEEE-754 everywhere) but NOT across intentional algorithm
+// changes — regenerate with `go test ./internal/regress -update` and
+// review the diff when an upstream change is deliberate.
+package regress
+
+import (
+	"encoding/binary"
+	"hash"
+	"hash/fnv"
+	"math"
+	"strings"
+
+	"repro/internal/comm"
+	"repro/internal/mesh"
+	"repro/internal/partition"
+	"repro/internal/report"
+)
+
+func u64(h hash.Hash64, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	h.Write(b[:]) // fnv.Write never errors
+}
+
+func i64(h hash.Hash64, v int64) { u64(h, uint64(v)) }
+
+// Mesh fingerprints the full geometry and topology: node count, every
+// coordinate's exact bits, element count, and every tetrahedron's
+// vertex ids in order.
+func Mesh(m *mesh.Mesh) uint64 {
+	h := fnv.New64a()
+	i64(h, int64(m.NumNodes()))
+	for _, c := range m.Coords {
+		u64(h, math.Float64bits(c.X))
+		u64(h, math.Float64bits(c.Y))
+		u64(h, math.Float64bits(c.Z))
+	}
+	i64(h, int64(m.NumElems()))
+	for _, t := range m.Tets {
+		for _, v := range t {
+			i64(h, int64(v))
+		}
+	}
+	return h.Sum64()
+}
+
+// Partition fingerprints the element-to-PE assignment.
+func Partition(pt *partition.Partition) uint64 {
+	h := fnv.New64a()
+	i64(h, int64(pt.P))
+	for _, pe := range pt.ElemPE {
+		i64(h, int64(pe))
+	}
+	return h.Sum64()
+}
+
+// Schedule fingerprints a communication schedule: every message's
+// endpoints and volume in the schedule's deterministic order.
+func Schedule(s *comm.Schedule) uint64 {
+	h := fnv.New64a()
+	i64(h, int64(s.P))
+	for _, msgs := range s.Out {
+		i64(h, int64(len(msgs)))
+		for _, m := range msgs {
+			i64(h, int64(m.From))
+			i64(h, int64(m.To))
+			i64(h, m.Words)
+		}
+	}
+	return h.Sum64()
+}
+
+// Table fingerprints a rendered report table — headers, formatting,
+// and every cell — so the model outputs are pinned exactly as a human
+// reads them.
+func Table(t *report.Table) uint64 {
+	var sb strings.Builder
+	if err := t.Render(&sb); err != nil {
+		panic(err) // Render to a strings.Builder cannot fail
+	}
+	h := fnv.New64a()
+	h.Write([]byte(sb.String()))
+	return h.Sum64()
+}
