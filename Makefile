@@ -23,7 +23,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race . ./internal/fault/ ./internal/obs/ ./internal/par/ ./internal/spark/
+	$(GO) test -race . ./internal/fault/ ./internal/obs/ ./internal/par/ ./internal/recover/ ./internal/solver/ ./internal/spark/
 
 # The gate CI runs: build + vet + full tests (as a coverage run with a
 # floor), plus the race detector on the concurrency-heavy packages, plus
@@ -61,16 +61,17 @@ bench-json:
 bench-smoke:
 	$(GO) test -run='^$$' -bench='ParallelSMVP|OverlappedSMVP|FaultHookOverhead' -benchtime=1x -benchmem .
 
-# Short mutation runs of the fuzz targets: the two parsers that accept
-# untrusted input (the message-matrix schedule builder and the
-# fault-plan grammar) plus the aggregation-invariant fuzzer that hunts
-# for schedules where the two-level fusion drops or reorders words. Go
-# allows one -fuzz pattern per invocation, so each target gets its own
-# run.
+# Short mutation runs of the fuzz targets: the parsers that accept
+# untrusted input (the message-matrix schedule builder, the fault-plan
+# grammar, and the durable-checkpoint decoder) plus the
+# aggregation-invariant fuzzer that hunts for schedules where the
+# two-level fusion drops or reorders words. Go allows one -fuzz pattern
+# per invocation, so each target gets its own run.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzFromMatrix -fuzztime=5s ./internal/comm/
 	$(GO) test -run='^$$' -fuzz=FuzzAggregate -fuzztime=5s ./internal/comm/
 	$(GO) test -run='^$$' -fuzz=FuzzParsePlan -fuzztime=5s ./internal/fault/
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeCheckpoint -fuzztime=5s ./internal/recover/
 
 # One-shot figure regeneration without the benchmark harness.
 repro:

@@ -18,9 +18,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"regexp"
 	"runtime"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -31,8 +33,14 @@ import (
 // nothing about the run being described). NumCPU records the host
 // width so a throttled run is visible.
 type Report struct {
-	Date        string             `json:"date"`
-	GoVersion   string             `json:"go_version"`
+	Date      string `json:"date"`
+	GoVersion string `json:"go_version"`
+	// GitCommit and GitDirty pin the exact source state the benchmarks
+	// ran against, so a BENCH_<date>.json can be matched back to a
+	// commit (and a dirty tree is never mistaken for one). Both are
+	// omitted when git is unavailable or the cwd is not a repository.
+	GitCommit   string             `json:"git_commit,omitempty"`
+	GitDirty    bool               `json:"git_dirty,omitempty"`
 	NumCPU      int                `json:"num_cpu"`
 	GOMAXPROCS  int                `json:"gomaxprocs"`
 	NsPerOp     map[string]float64 `json:"ns_per_op"`
@@ -106,6 +114,7 @@ func parse(r io.Reader) (*Report, error) {
 		BytesPerOp:  make(map[string]float64),
 		AllocsPerOp: make(map[string]float64),
 	}
+	rep.GitCommit, rep.GitDirty = gitInfo()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -142,4 +151,18 @@ func parse(r io.Reader) (*Report, error) {
 		rep.AllocsPerOp = nil
 	}
 	return rep, sc.Err()
+}
+
+// gitInfo returns HEAD's hash and whether the working tree differs
+// from it. Both degrade to zero values when git is missing or the cwd
+// is outside a repository, so the tool stays usable on a bare
+// benchmark box.
+func gitInfo() (commit string, dirty bool) {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "", false
+	}
+	commit = strings.TrimSpace(string(out))
+	st, err := exec.Command("git", "status", "--porcelain").Output()
+	return commit, err == nil && len(strings.TrimSpace(string(st))) > 0
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -71,6 +72,27 @@ func TestParseNoSuffix(t *testing.T) {
 	}
 	if rep.BytesPerOp != nil || rep.AllocsPerOp != nil {
 		t.Error("memory maps should be omitted when no -benchmem columns exist")
+	}
+}
+
+// TestGitMetadata: run inside this repository, the report must carry
+// HEAD's full hash; the dirty flag just has to be a sane bool (the
+// test tree may legitimately be mid-edit).
+func TestGitMetadata(t *testing.T) {
+	if _, err := exec.LookPath("git"); err != nil {
+		t.Skip("git not installed")
+	}
+	rep, err := parse(strings.NewReader("BenchmarkX \t 10 \t 100 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.GitCommit) != 40 {
+		t.Fatalf("GitCommit = %q, want a 40-hex hash", rep.GitCommit)
+	}
+	for _, c := range rep.GitCommit {
+		if !strings.ContainsRune("0123456789abcdef", c) {
+			t.Fatalf("GitCommit %q contains non-hex %q", rep.GitCommit, c)
+		}
 	}
 }
 

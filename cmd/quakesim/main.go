@@ -9,12 +9,15 @@
 //
 //	quakesim                       # sf10, 300 steps, 8 PEs
 //	quakesim -scenario sf5 -steps 1000 -pes 16
+//	quakesim -faults 'kill:pe=3,iter=40' -checkpoint ck/   # lose a PE, shrink, resume
+//	quakesim -resume ck/                                   # restart from the latest snapshot
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 
@@ -23,38 +26,138 @@ import (
 	"repro/internal/fem"
 	"repro/internal/geom"
 	"repro/internal/machine"
+	"repro/internal/material"
+	"repro/internal/mesh"
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/quake"
+	rec "repro/internal/recover"
 	"repro/internal/report"
 	"repro/internal/solver"
 )
 
-func main() {
-	scenario := flag.String("scenario", "sf10", "scenario name")
-	steps := flag.Int("steps", 300, "time steps to integrate")
-	pes := flag.Int("pes", 8, "PE count for the distributed SMVP")
-	seis := flag.String("seis", "", "write receiver seismograms as CSV to this file")
-	trace := flag.String("trace", "", "write a Chrome trace_event JSON file here")
-	metrics := flag.String("metrics", "", "write a metrics snapshot JSON file here")
-	faults := flag.String("faults", "", "fault-injection soak: arm this plan (e.g. 'corrupt:pe=1->0,iter=4,bit=62') on the distributed runtime and run a self-healing CG solve against a fault-free reference; see docs/RELIABILITY.md")
-	flag.Parse()
+// options is the validated CLI configuration. Flag parsing and
+// semantic validation are separate steps so bad combinations are
+// refused with usage before any meshing starts, and so tests can
+// drive both run() and the validation table directly.
+type options struct {
+	scenario string
+	steps    int
+	pes      int
+	seis     string
+	trace    string
+	metrics  string
+	faults   string
+	// checkpoint is the directory durable snapshots are written to;
+	// every is their iteration period. everySet records whether -every
+	// was given explicitly, so "-every" without "-checkpoint" can be
+	// rejected instead of silently ignored.
+	checkpoint string
+	every      int
+	everySet   bool
+	// resume is the directory the run restarts from.
+	resume string
 
-	if err := run(*scenario, *steps, *pes, *seis, *trace, *metrics, *faults); err != nil {
+	// plan is the parsed -faults plan, filled in by validate.
+	plan *fault.Plan
+}
+
+// parseOptions binds the flag set. Parse errors (unknown flags, bad
+// syntax) are returned after the FlagSet has printed usage to out.
+func parseOptions(args []string, out io.Writer) (*options, error) {
+	opt := &options{}
+	fs := flag.NewFlagSet("quakesim", flag.ContinueOnError)
+	fs.SetOutput(out)
+	fs.StringVar(&opt.scenario, "scenario", "sf10", "scenario name")
+	fs.IntVar(&opt.steps, "steps", 300, "time steps to integrate")
+	fs.IntVar(&opt.pes, "pes", 8, "PE count for the distributed SMVP")
+	fs.StringVar(&opt.seis, "seis", "", "write receiver seismograms as CSV to this file")
+	fs.StringVar(&opt.trace, "trace", "", "write a Chrome trace_event JSON file here")
+	fs.StringVar(&opt.metrics, "metrics", "", "write a metrics snapshot JSON file here")
+	fs.StringVar(&opt.faults, "faults", "", "fault-injection soak: arm this plan (e.g. 'corrupt:pe=1->0,iter=4,bit=62') on the distributed runtime and run a self-healing CG solve against a fault-free reference; a plan with a kill event instead demonstrates shrink-to-survivors recovery; see docs/RELIABILITY.md")
+	fs.StringVar(&opt.checkpoint, "checkpoint", "", "write durable solver checkpoints to this directory (see -every)")
+	fs.IntVar(&opt.every, "every", 10, "checkpoint period in CG iterations (requires -checkpoint)")
+	fs.StringVar(&opt.resume, "resume", "", "resume the solve from the latest checkpoint in this directory")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "every" {
+			opt.everySet = true
+		}
+	})
+	if fs.NArg() > 0 {
+		fmt.Fprintf(out, "quakesim: unexpected arguments: %v\n", fs.Args())
+		fs.Usage()
+		return nil, fmt.Errorf("unexpected arguments")
+	}
+	return opt, nil
+}
+
+// validate enforces the cross-flag rules up front: counts are
+// positive, the fault plan parses, a checkpoint period is sane, and a
+// resume directory actually exists. It fills opt.plan as a side
+// effect.
+func (opt *options) validate() error {
+	if opt.steps < 1 {
+		return fmt.Errorf("-steps must be at least 1, got %d", opt.steps)
+	}
+	if opt.pes < 1 {
+		return fmt.Errorf("-pes must be at least 1, got %d", opt.pes)
+	}
+	if opt.faults != "" {
+		plan, err := fault.Parse(opt.faults)
+		if err != nil {
+			return err
+		}
+		opt.plan = plan
+	}
+	if opt.checkpoint != "" && opt.every < 1 {
+		return fmt.Errorf("-checkpoint needs a positive -every, got %d", opt.every)
+	}
+	if opt.everySet && opt.checkpoint == "" {
+		return fmt.Errorf("-every is only meaningful with -checkpoint")
+	}
+	if opt.resume != "" {
+		fi, err := os.Stat(opt.resume)
+		if err != nil {
+			return fmt.Errorf("-resume directory: %w", err)
+		}
+		if !fi.IsDir() {
+			return fmt.Errorf("-resume: %s is not a directory", opt.resume)
+		}
+	}
+	return nil
+}
+
+func main() {
+	opt, err := parseOptions(os.Args[1:], os.Stderr)
+	if err != nil {
+		os.Exit(2) // the FlagSet already printed the problem and usage
+	}
+	if err := opt.validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "quakesim:", err)
+		fmt.Fprintln(os.Stderr, "run 'quakesim -h' for usage")
+		os.Exit(2)
+	}
+	if err := run(opt); err != nil {
 		fmt.Fprintln(os.Stderr, "quakesim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(name string, steps, pes int, seisPath, tracePath, metricsPath, faultsPlan string) error {
+func run(opt *options) error {
+	name, steps, pes := opt.scenario, opt.steps, opt.pes
+	seisPath, tracePath, metricsPath := opt.seis, opt.trace, opt.metrics
 	// Reject a malformed plan before spending minutes simulating; the
-	// soak itself runs last.
-	var plan *fault.Plan
-	if faultsPlan != "" {
+	// soak itself runs last. (validate() already parsed CLI plans; this
+	// covers direct run() callers.)
+	plan := opt.plan
+	if plan == nil && opt.faults != "" {
 		var err error
-		if plan, err = fault.Parse(faultsPlan); err != nil {
+		if plan, err = fault.Parse(opt.faults); err != nil {
 			return err
 		}
 	}
@@ -198,12 +301,102 @@ func run(name string, steps, pes int, seisPath, tracePath, metricsPath, faultsPl
 	fmt.Printf("modeled efficiency of %s on %s/%d: %.3f\n",
 		t3e.Name, s.Name, pes, model.Efficiency(app, t3e.Tf, t3e.Tl, t3e.Tw))
 
-	// Fault-injection soak: runs last, because a plan with a panic event
-	// poisons the Dist for good (the containment being demonstrated).
+	// Fault soak / graceful-degradation demo: runs last, because a plan
+	// with a panic event poisons the Dist for good (the containment
+	// being demonstrated). Checkpointing, resume, and kill plans route
+	// to the recovery supervisor; other plans to the self-healing soak.
+	if opt.checkpoint != "" || opt.resume != "" || (plan != nil && plan.Has(fault.Kill)) {
+		return recoveryRun(opt, plan, dist, sys, m, mat, pt)
+	}
 	if plan != nil {
 		if err := soakFaults(dist, sys, plan); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// recoveryRun demonstrates graceful degradation: it solves the shifted
+// elastodynamic system under the recovery supervisor, writing durable
+// checkpoints when -checkpoint is set, restarting from the latest
+// snapshot when -resume is set, and — when the plan kills a PE —
+// shrinking onto the survivors and resuming from the last checkpoint.
+func recoveryRun(opt *options, plan *fault.Plan, dist *par.Dist, sys *fem.System,
+	m *mesh.Mesh, mat *material.Model, pt *partition.Partition) error {
+	fmt.Printf("\ngraceful degradation: checkpoint=%q every=%d resume=%q plan=%q\n",
+		opt.checkpoint, opt.every, opt.resume, opt.faults)
+
+	op := par.Operator{D: dist, Shift: 20, MassNode: sys.MassNode}
+	n := op.Dim()
+	b := make([]float64, n)
+	b[2] = 50
+	b[n-1] = -20
+	meshID := rec.MeshID(m)
+
+	var store *rec.Store
+	if opt.checkpoint != "" {
+		var err error
+		if store, err = rec.NewStore(opt.checkpoint); err != nil {
+			return err
+		}
+	}
+
+	scfg := solver.Config{MaxIter: 4 * n, Tol: 1e-8, CheckpointEvery: opt.every}
+	var in *fault.Injector
+	if plan != nil {
+		var err error
+		if in, err = dist.InjectFaults(plan); err != nil {
+			return err
+		}
+	}
+	if opt.resume != "" {
+		rs, err := rec.NewStore(opt.resume)
+		if err != nil {
+			return err
+		}
+		ck, path, err := rs.Latest()
+		if err != nil {
+			return fmt.Errorf("-resume: %w", err)
+		}
+		if ck.MeshID != meshID {
+			return fmt.Errorf("-resume: checkpoint %s was taken on a different mesh (id %016x, this run %016x)",
+				path, ck.MeshID, meshID)
+		}
+		if int(ck.P) != pt.P {
+			return fmt.Errorf("-resume: checkpoint %s was taken at %d PEs; rerun with -pes %d", path, ck.P, ck.P)
+		}
+		scfg.Resume = ck.State()
+		if in != nil {
+			in.Advance(ck.FaultIter) // don't replay kernels the first run already executed
+		}
+		fmt.Printf("resuming from %s at CG iteration %d\n", path, ck.Iter)
+	}
+
+	rcfg := rec.Config{Solver: scfg, Store: store, MeshID: meshID, FaultPlan: opt.faults}
+	if in != nil {
+		rcfg.FaultIter = in.Iter
+	}
+	x := make([]float64, n)
+	out, err := rec.Solve(dist, &rec.System{Mesh: m, Material: mat, Part: pt, Shift: 20, MassNode: sys.MassNode},
+		b, x, rcfg)
+	if out != nil && out.Dist != nil && out.Dist != dist {
+		defer out.Dist.Close() // rebuilt after a shrink; the original is closed by Solve
+	}
+	if err != nil {
+		return fmt.Errorf("recovered solve: %w", err)
+	}
+	if out.Shrinks > 0 {
+		fmt.Printf("lost PE(s) %v mid-solve; shrank %d time(s) to %d survivors and resumed from the last checkpoint\n",
+			out.DeadPEs, out.Shrinks, out.Part.P)
+	}
+	if !out.Result.Converged {
+		return fmt.Errorf("recovered solve did not converge: %+v", out.Result)
+	}
+	fmt.Printf("solve finished on %d PEs: %d iterations, residual %.3g, %d durable checkpoint(s)\n",
+		out.Part.P, out.Result.Iterations, out.Result.Residual, out.Result.Checkpoints)
+	if store != nil {
+		fmt.Printf("checkpoints in %s; restart with: quakesim -scenario %s -pes %d -resume %s\n",
+			store.Dir(), opt.scenario, out.Part.P, store.Dir())
 	}
 	return nil
 }
@@ -241,7 +434,7 @@ func soakFaults(dist *par.Dist, sys *fem.System, plan *fault.Plan) error {
 		MaxIter: 4 * n, Tol: 1e-8, CheckEvery: 5, MaxRecoveries: 8,
 	})
 	injected := ""
-	for _, k := range []fault.Kind{fault.Corrupt, fault.Drop, fault.Dup, fault.Delay, fault.Stall, fault.Panic} {
+	for _, k := range []fault.Kind{fault.Corrupt, fault.Drop, fault.Dup, fault.Delay, fault.Stall, fault.Panic, fault.Kill} {
 		if c := in.Count(k); c > 0 {
 			injected += fmt.Sprintf(" %s=%d", k, c)
 		}

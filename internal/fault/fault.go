@@ -18,7 +18,8 @@
 //	dup      pe->dst          a block transfer is delivered twice
 //	delay    pe->dst, dur     delivery of a block transfer is delayed
 //	stall    pe, dur          the PE sleeps mid-kernel (a slow PE)
-//	panic    pe               the PE panics mid-kernel (a dead PE)
+//	panic    pe               the PE panics mid-kernel (a software fault)
+//	kill     pe               the PE dies permanently (recover by shrinking)
 //
 // Every event accepts iter=<n> (the 1-based kernel invocation since the
 // plan was armed; omitted means every invocation). corrupt additionally
@@ -56,11 +57,17 @@ const (
 	Stall
 	// Panic makes a PE panic mid-kernel.
 	Panic
+	// Kill marks a PE permanently dead mid-kernel. Mechanically it
+	// panics like Panic, but the panic value is *Killed, which tells the
+	// recovery layer (internal/recover) that the PE is gone for good and
+	// the run should shrink onto the survivors rather than retry on a
+	// rebuilt Dist of the same width.
+	Kill
 
-	numKinds = 6
+	numKinds = 7
 )
 
-var kindNames = [numKinds]string{"corrupt", "drop", "dup", "delay", "stall", "panic"}
+var kindNames = [numKinds]string{"corrupt", "drop", "dup", "delay", "stall", "panic", "kill"}
 
 // String returns the plan-grammar name of the kind.
 func (k Kind) String() string {
@@ -165,6 +172,16 @@ func (p *Plan) Validate(pes int) error {
 		}
 	}
 	return nil
+}
+
+// Has reports whether the plan contains at least one event of kind k.
+func (p *Plan) Has(k Kind) bool {
+	for _, e := range p.Events {
+		if e.Kind == k {
+			return true
+		}
+	}
+	return false
 }
 
 // Parse parses the fault-plan grammar. Whitespace around entries and
@@ -318,7 +335,7 @@ func checkEvent(e *Event) error {
 		return fmt.Errorf("fault: %s: word=/bit= are only valid on corrupt", e.Kind)
 	}
 	// Transfer direction is meaningless for PE-local faults.
-	if (e.Kind == Stall || e.Kind == Panic) && e.Dst != Unset {
+	if (e.Kind == Stall || e.Kind == Panic || e.Kind == Kill) && e.Dst != Unset {
 		return fmt.Errorf("fault: %s: does not take a destination PE", e.Kind)
 	}
 	return nil

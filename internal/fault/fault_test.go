@@ -256,3 +256,76 @@ func TestBeginKernelCounts(t *testing.T) {
 		t.Errorf("Iter = %d", in.Iter())
 	}
 }
+
+// TestKillKind pins the kill event end to end: the grammar accepts it
+// with the same restrictions as panic (no destination, no duration, no
+// corruption fields), it round-trips through String, and firing it
+// panics with *Killed — the type the recovery layer keys on to shrink
+// the run instead of rebuilding at full width.
+func TestKillKind(t *testing.T) {
+	p, err := Parse("kill:pe=3,iter=40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Has(Kill) || p.Has(Panic) {
+		t.Errorf("Has: kill=%v panic=%v", p.Has(Kill), p.Has(Panic))
+	}
+	if got := p.String(); got != "kill:pe=3,iter=40" {
+		t.Errorf("canonical form %q", got)
+	}
+	for _, bad := range []string{
+		"kill:pe=0->1,iter=2", // no destination
+		"kill:pe=0,dur=1ms",   // no duration
+		"kill:pe=0,bit=3",     // no corruption fields
+		"kill:iter=2",         // missing pe
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+	if err := p.Validate(4); err != nil {
+		t.Errorf("valid kill plan rejected: %v", err)
+	}
+	if err := p.Validate(3); err == nil {
+		t.Error("kill:pe=3 accepted on a 3-PE machine")
+	}
+
+	in := NewInjector(p)
+	in.AfterCompute(3, 39) // wrong iter: nothing fires
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("kill event did not panic")
+			}
+			k, ok := r.(*Killed)
+			if !ok {
+				t.Fatalf("panic value %T, want *Killed", r)
+			}
+			if k.PE != 3 || k.Iter != 40 {
+				t.Errorf("kill value %+v", k)
+			}
+			if !strings.Contains(k.String(), "PE 3") {
+				t.Errorf("kill string %q", k.String())
+			}
+		}()
+		in.AfterCompute(3, 40)
+	}()
+	if in.Count(Kill) != 1 || in.Count(Panic) != 0 {
+		t.Errorf("counts: kill=%d panic=%d", in.Count(Kill), in.Count(Panic))
+	}
+}
+
+// TestInjectorAdvance: a resumed run fast-forwards the kernel counter so
+// later events keep their absolute invocation numbers.
+func TestInjectorAdvance(t *testing.T) {
+	in := NewInjector(&Plan{Seed: 1})
+	in.Advance(10)
+	if it := in.BeginKernel(); it != 11 {
+		t.Errorf("kernel after Advance(10) = %d, want 11", it)
+	}
+	in.Advance(-5) // ignored
+	if in.Iter() != 11 {
+		t.Errorf("Iter after negative Advance = %d, want 11", in.Iter())
+	}
+}

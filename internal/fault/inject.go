@@ -21,6 +21,19 @@ func (p *Injected) String() string {
 	return fmt.Sprintf("injected panic on PE %d at kernel %d", p.PE, p.Iter)
 }
 
+// Killed is the panic value raised by a Kill event: unlike *Injected
+// (a software fault a caller may retry at full width), it declares the
+// PE permanently lost. The recovery layer keys on this type to decide
+// that the only way forward is shrinking the run onto the survivors.
+type Killed struct {
+	PE   int
+	Iter int64
+}
+
+func (k *Killed) String() string {
+	return fmt.Sprintf("PE %d killed at kernel %d", k.PE, k.Iter)
+}
+
 // Injector executes an armed Plan at the runtime's exchange boundary.
 // All hook methods are safe for concurrent use by the PE goroutines and
 // allocate nothing; the runtime calls them only while a plan is armed,
@@ -55,6 +68,18 @@ func NewInjector(p *Plan) *Injector {
 // returns the new (1-based) index. The runtime calls it once per
 // dispatched kernel, under the dispatch lock.
 func (in *Injector) BeginKernel() int64 { return in.iter.Add(1) }
+
+// Advance moves the kernel-invocation counter forward by n without
+// dispatching kernels. A resumed run uses it to fast-forward a freshly
+// armed injector past the kernels the checkpointed run already
+// executed, so the remaining planned events fire at the same absolute
+// invocations they would have in an uninterrupted run. Negative n is
+// ignored.
+func (in *Injector) Advance(n int64) {
+	if n > 0 {
+		in.iter.Add(n)
+	}
+}
 
 // Iter returns the number of kernels dispatched since arming.
 func (in *Injector) Iter() int64 { return in.iter.Load() }
@@ -102,6 +127,9 @@ func (in *Injector) AfterCompute(pe int, iter int64) {
 		case Panic:
 			in.note(Panic)
 			panic(&Injected{PE: pe, Iter: iter})
+		case Kill:
+			in.note(Kill)
+			panic(&Killed{PE: pe, Iter: iter})
 		}
 	}
 }

@@ -300,3 +300,56 @@ func TestStallDelaysKernel(t *testing.T) {
 		}
 	}
 }
+
+// TestKillFaultTyped checks the recovery layer's entry contract: a kill
+// fault surfaces as a *PEFaultError that still wraps ErrPoisoned, names
+// the dead PE, and carries the *fault.Killed panic value — everything
+// internal/recover needs to decide to shrink instead of retry.
+func TestKillFaultTyped(t *testing.T) {
+	f := newFixture(t)
+	d, _ := f.dist(t, 4, partition.RCB)
+	if _, err := d.InjectFaults(mustPlan(t, "kill:pe=2,iter=1")); err != nil {
+		t.Fatal(err)
+	}
+	y, x := vecs(d)
+	done := make(chan error, 1)
+	go func() {
+		_, err := d.SMVP(y, x)
+		done <- err
+	}()
+	var err error
+	select {
+	case err = <-done:
+	case <-time.After(watchdog):
+		t.Fatal("kill fault deadlocked the kernel")
+	}
+	if !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("kill error does not wrap ErrPoisoned: %v", err)
+	}
+	var pf *PEFaultError
+	if !errors.As(err, &pf) {
+		t.Fatalf("kill error is not a *PEFaultError: %v", err)
+	}
+	if pf.PE != 2 || pf.Iter != 1 || pf.Faults != 1 {
+		t.Fatalf("fault record %+v", pf)
+	}
+	k, ok := pf.Val.(*fault.Killed)
+	if !ok {
+		t.Fatalf("panic value %T, want *fault.Killed", pf.Val)
+	}
+	if k.PE != 2 {
+		t.Fatalf("killed value %+v", k)
+	}
+	// A plain injected panic must NOT look like a kill.
+	d2, _ := f.dist(t, 4, partition.RCB)
+	if _, err := d2.InjectFaults(mustPlan(t, "panic:pe=1,iter=1")); err != nil {
+		t.Fatal(err)
+	}
+	_, err = d2.SMVP(y, x)
+	if !errors.As(err, &pf) {
+		t.Fatalf("panic error is not a *PEFaultError: %v", err)
+	}
+	if _, ok := pf.Val.(*fault.Killed); ok {
+		t.Fatal("software panic misreported as a kill")
+	}
+}

@@ -30,6 +30,33 @@ var errClosed = errors.New("par: Dist has been closed")
 // state with errors.Is(err, ErrPoisoned) and must build a new Dist.
 var ErrPoisoned = errors.New("par: Dist poisoned by an earlier PE fault")
 
+// PEFaultError is the concrete error a Dist returns for the kernel in
+// which a PE panicked (and, sticky, for every kernel after it). It
+// unwraps to ErrPoisoned, so existing errors.Is checks are unchanged;
+// the recovery layer additionally inspects PE and Val with errors.As to
+// decide how to rebuild — in particular a Val of *fault.Killed means
+// the PE is permanently lost and the run must shrink onto the
+// survivors rather than retry at full width.
+type PEFaultError struct {
+	// PE and Iter locate the first recorded panic: the PE goroutine that
+	// died and the injector's kernel-invocation index (0 when no
+	// injector was armed).
+	PE   int
+	Iter int64
+	// Val is the recovered panic value of the first fault.
+	Val any
+	// Faults counts all PE panics recovered during the kernel.
+	Faults int
+}
+
+func (e *PEFaultError) Error() string {
+	return fmt.Sprintf("%v: PE %d panicked during kernel %d: %v (%d PE fault(s); build a new Dist)",
+		ErrPoisoned, e.PE, e.Iter, e.Val, e.Faults)
+}
+
+// Unwrap makes errors.Is(err, ErrPoisoned) hold.
+func (e *PEFaultError) Unwrap() error { return ErrPoisoned }
+
 // barrier is a reusable generation (sense-reversing) barrier for n
 // parties: await blocks until all n have arrived, releases them, and
 // resets for the next round. The mutex/cond pair both parks waiters
@@ -302,8 +329,7 @@ func (rt *peRuntime) collectFaults() error {
 		return nil
 	}
 	f := faults[0]
-	err := fmt.Errorf("%w: PE %d panicked during kernel %d: %v (%d PE fault(s); build a new Dist)",
-		ErrPoisoned, f.pe, f.iter, f.val, len(faults))
+	err := &PEFaultError{PE: f.pe, Iter: f.iter, Val: f.val, Faults: len(faults)}
 	rt.poisoned = err
 	return err
 }

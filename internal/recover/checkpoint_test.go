@@ -1,0 +1,214 @@
+package recover
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/solver"
+)
+
+func sampleCheckpoint() *Checkpoint {
+	return &Checkpoint{
+		MeshID:    0xfeedc0de,
+		P:         4,
+		ElemPE:    []int32{0, 1, 2, 3, 0, 1, 3},
+		Iter:      42,
+		Rho:       3.25e-4,
+		X:         []float64{1.5, -2.25, 0, 9.75},
+		R:         []float64{0.5, 0.25, -0.125, 8},
+		PDir:      []float64{-1, 2, -3, 4},
+		FaultPlan: "kill:pe=3,iter=40",
+		FaultIter: 17,
+	}
+}
+
+// TestCheckpointRoundTrip: Encode→Decode is the identity, including
+// the solver-state view.
+func TestCheckpointRoundTrip(t *testing.T) {
+	ck := sampleCheckpoint()
+	got, err := Decode(ck.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MeshID != ck.MeshID || got.P != ck.P || got.Iter != ck.Iter ||
+		got.Rho != ck.Rho || got.FaultPlan != ck.FaultPlan || got.FaultIter != ck.FaultIter {
+		t.Fatalf("scalar fields: %+v", got)
+	}
+	for i := range ck.ElemPE {
+		if got.ElemPE[i] != ck.ElemPE[i] {
+			t.Fatalf("ElemPE[%d] = %d, want %d", i, got.ElemPE[i], ck.ElemPE[i])
+		}
+	}
+	for i := range ck.X {
+		if got.X[i] != ck.X[i] || got.R[i] != ck.R[i] || got.PDir[i] != ck.PDir[i] {
+			t.Fatalf("vectors differ at %d", i)
+		}
+	}
+	st := got.State()
+	if st.Iter != 42 || st.Rho != ck.Rho || len(st.X) != 4 || st.P[3] != 4 {
+		t.Fatalf("State() = %+v", st)
+	}
+}
+
+// TestDecodeRejections pins the strict-decoder contract: truncation,
+// corruption, version skew, bad magic, trailing bytes, and hostile
+// internal lengths are all refused with errors.
+func TestDecodeRejections(t *testing.T) {
+	valid := sampleCheckpoint().Encode()
+
+	t.Run("truncated", func(t *testing.T) {
+		for _, n := range []int{0, 7, headerLen - 1, headerLen + 3, len(valid) - 1} {
+			if _, err := Decode(valid[:n]); err == nil {
+				t.Errorf("accepted a %d-byte prefix", n)
+			}
+		}
+	})
+	t.Run("bad-magic", func(t *testing.T) {
+		b := append([]byte(nil), valid...)
+		b[0] ^= 0xff
+		if _, err := Decode(b); err == nil {
+			t.Error("accepted corrupted magic")
+		}
+	})
+	t.Run("version-skew", func(t *testing.T) {
+		b := append([]byte(nil), valid...)
+		binary.LittleEndian.PutUint32(b[8:], ckptVersion+1)
+		if _, err := Decode(b); err == nil {
+			t.Error("accepted a future version")
+		}
+	})
+	t.Run("payload-corruption", func(t *testing.T) {
+		b := append([]byte(nil), valid...)
+		b[headerLen+9] ^= 0x10
+		if _, err := Decode(b); err == nil {
+			t.Error("accepted a payload bit flip (checksum missed it)")
+		}
+	})
+	t.Run("trailing-bytes", func(t *testing.T) {
+		if _, err := Decode(append(append([]byte(nil), valid...), 0)); err == nil {
+			t.Error("accepted trailing bytes")
+		}
+	})
+	t.Run("hostile-lengths", func(t *testing.T) {
+		// A payload claiming 2^60 elements must be refused before any
+		// allocation, not after; rebuild the frame so length and CRC are
+		// self-consistent and only the element count lies.
+		ck := sampleCheckpoint()
+		payload := ck.appendPayload(nil)
+		binary.LittleEndian.PutUint64(payload[12:], 1<<60)
+		b := make([]byte, 0, headerLen+len(payload))
+		b = append(b, ckptMagic...)
+		b = binary.LittleEndian.AppendUint32(b, ckptVersion)
+		b = binary.LittleEndian.AppendUint64(b, uint64(len(payload)))
+		b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(payload, castagnoli))
+		b = append(b, payload...)
+		if _, err := Decode(b); err == nil {
+			t.Error("accepted a 2^60-element claim")
+		}
+	})
+}
+
+// TestStoreSaveLatest: snapshots land atomically under ckpt-<iter>.qck,
+// Latest returns the newest decodable one, and a corrupted newest file
+// degrades to the previous snapshot instead of failing the resume.
+func TestStoreSaveLatest(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(filepath.Join(dir, "ck"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Latest(); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("empty store Latest: %v", err)
+	}
+	ck := sampleCheckpoint()
+	for _, iter := range []int64{5, 10, 15} {
+		ck.Iter = iter
+		if _, err := s.Save(ck); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, path, err := s.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Iter != 15 || filepath.Base(path) != "ckpt-000000015.qck" {
+		t.Fatalf("Latest = iter %d at %s", got.Iter, path)
+	}
+	// Corrupt the newest file; Latest must fall back to iter 10.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err = s.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Iter != 10 {
+		t.Fatalf("fallback Latest = iter %d, want 10", got.Iter)
+	}
+	// No temp litter after successful saves.
+	entries, err := os.ReadDir(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".tmp" {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+}
+
+// TestCheckpointSolverStateRoundTrip: a State captured by the solver
+// survives the disk round trip bit for bit — the property the
+// bit-identical resume rests on.
+func TestCheckpointSolverStateRoundTrip(t *testing.T) {
+	st := &solver.State{
+		Iter: 7,
+		X:    []float64{1.0000000000000002, -0, 3e-308},
+		R:    []float64{2.5, -7.25, 1.125},
+		P:    []float64{0.1, 0.2, 0.3},
+		Rho:  1.7976931348623157e308,
+	}
+	ck := &Checkpoint{P: 1, ElemPE: []int32{0}, Iter: int64(st.Iter), Rho: st.Rho, X: st.X, R: st.R, PDir: st.P}
+	got, err := Decode(ck.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := got.State()
+	if back.Iter != st.Iter || back.Rho != st.Rho {
+		t.Fatalf("State round trip: %+v", back)
+	}
+	for i := range st.X {
+		if back.X[i] != st.X[i] || back.R[i] != st.R[i] || back.P[i] != st.P[i] {
+			t.Fatalf("vector bits differ at %d", i)
+		}
+	}
+}
+
+// FuzzDecodeCheckpoint: random mutations of a valid snapshot must
+// never crash or hang the decoder — only decode cleanly or error.
+func FuzzDecodeCheckpoint(f *testing.F) {
+	f.Add(sampleCheckpoint().Encode())
+	f.Add([]byte(ckptMagic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, err := Decode(data)
+		if err == nil && ck == nil {
+			t.Fatal("nil checkpoint without error")
+		}
+		if err == nil {
+			// A decoded checkpoint must re-encode decodable.
+			if _, err := Decode(ck.Encode()); err != nil {
+				t.Fatalf("re-encode of accepted checkpoint rejected: %v", err)
+			}
+		}
+	})
+}

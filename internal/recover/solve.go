@@ -1,0 +1,156 @@
+package recover
+
+import (
+	"fmt"
+
+	"repro/internal/material"
+	"repro/internal/mesh"
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/partition"
+	"repro/internal/solver"
+)
+
+// System describes everything needed to rebuild the distributed
+// operator at reduced width after a PE loss. The mesh, material, and
+// shift never change across shrinks; the partition is the *current*
+// one and is replaced on every shrink.
+type System struct {
+	Mesh     *mesh.Mesh
+	Material *material.Model
+	Part     *partition.Partition
+	// Shift and MassNode parameterize the CG operator exactly as
+	// par.Operator does.
+	Shift    float64
+	MassNode []float64
+	// NodeOf, when non-nil, is the two-level aggregation map of the
+	// initial width; it is recomposed past each dead PE and reinstalled
+	// on every rebuilt Dist.
+	NodeOf func(pe int32) int32
+}
+
+// Config is the recovery policy around a solver.Config.
+type Config struct {
+	Solver solver.Config
+	// MaxShrinks bounds PE losses absorbed per solve (default 3; the
+	// partition also cannot shrink below one PE).
+	MaxShrinks int
+	// Store, when non-nil, receives a durable checkpoint for every
+	// solver snapshot (Solver.CheckpointEvery, default 10). A write
+	// failure is counted under recover.checkpoint.errors but does not
+	// abort the solve — durability degrades before availability does.
+	Store *Store
+	// MeshID tags durable checkpoints (see MeshID).
+	MeshID uint64
+	// FaultPlan and FaultIter annotate durable checkpoints with the
+	// armed injector's plan and already-executed kernel count so a
+	// resumed process can re-arm and fast-forward it.
+	FaultPlan string
+	FaultIter func() int64
+}
+
+// Outcome reports a recovered solve.
+type Outcome struct {
+	// Result is the final, successful CG result.
+	Result *solver.Result
+	// Shrinks counts absorbed PE losses; DeadPEs lists them in the PE
+	// numbering current at each death.
+	Shrinks int
+	DeadPEs []int
+	// Part and Dist are the partition and operator that finished the
+	// solve — the caller's originals when Shrinks is zero, rebuilt ones
+	// otherwise. The caller owns Dist and must Close it.
+	Part *partition.Partition
+	Dist *par.Dist
+}
+
+// Solve runs CG on d and keeps the solve alive through kill faults:
+// every captured checkpoint is retained in memory (and, with a Store,
+// on disk); when a kernel error reports a killed PE, the run shrinks
+// to the survivors (Shrink), the poisoned Dist is closed, aggregation
+// is recomposed, and CG resumes from the last checkpoint on the
+// rebuilt operator. Software faults, dimension errors, and losses
+// beyond MaxShrinks propagate unchanged.
+//
+// The global problem (b, x, the solver state) is indexed by mesh node,
+// not by PE, so a checkpoint taken at width p resumes bit-compatibly
+// at width p−1: only the operator's internals changed. The resumed
+// trajectory is not bit-identical to a fault-free run — the rebuilt
+// operator sums partial results in a different order — but it is the
+// same CG iteration on the same SPD system, so it converges to the
+// same tolerance; the certification test in recover_test.go asserts
+// exactly that.
+func Solve(d *par.Dist, sys *System, b, x []float64, cfg Config) (*Outcome, error) {
+	if cfg.MaxShrinks <= 0 {
+		cfg.MaxShrinks = 3
+	}
+	scfg := cfg.Solver
+	if scfg.CheckpointEvery <= 0 {
+		scfg.CheckpointEvery = 10
+	}
+	userCk := scfg.OnCheckpoint
+
+	out := &Outcome{Part: sys.Part, Dist: d}
+	nodeOf := sys.NodeOf
+	ckErrors := obs.GetCounter("recover.checkpoint.errors")
+
+	var last *solver.State
+	scfg.OnCheckpoint = func(st *solver.State) {
+		last = st
+		if cfg.Store != nil {
+			ck := &Checkpoint{
+				MeshID:    cfg.MeshID,
+				P:         int32(out.Part.P),
+				ElemPE:    out.Part.ElemPE,
+				Iter:      int64(st.Iter),
+				Rho:       st.Rho,
+				X:         st.X,
+				R:         st.R,
+				PDir:      st.P,
+				FaultPlan: cfg.FaultPlan,
+			}
+			if cfg.FaultIter != nil {
+				ck.FaultIter = cfg.FaultIter()
+			}
+			if _, err := cfg.Store.Save(ck); err != nil {
+				ckErrors.Add(1)
+			}
+		}
+		if userCk != nil {
+			userCk(st)
+		}
+	}
+
+	for {
+		op := par.Operator{D: out.Dist, Shift: sys.Shift, MassNode: sys.MassNode}
+		res, err := solver.CG(op, b, x, scfg)
+		if err == nil {
+			out.Result = res
+			return out, nil
+		}
+		dead, killed := DeadPE(err)
+		if !killed || out.Shrinks >= cfg.MaxShrinks || out.Part.P <= 1 {
+			return out, err
+		}
+		reb, serr := Shrink(sys.Mesh, sys.Material, out.Part, dead)
+		if serr != nil {
+			return out, fmt.Errorf("recover: shrinking after %v: %w", err, serr)
+		}
+		out.Dist.Close() // poisoned; release its PE goroutines
+		if nodeOf != nil {
+			nodeOf = ShrinkNodeOf(nodeOf, dead)
+			if aerr := reb.Dist.SetAggregation(nodeOf); aerr != nil {
+				reb.Dist.Close()
+				return out, fmt.Errorf("recover: reinstalling aggregation: %w", aerr)
+			}
+		}
+		out.Dist, out.Part = reb.Dist, reb.Partition
+		out.Shrinks++
+		out.DeadPEs = append(out.DeadPEs, dead)
+		// Resume from the last consistent checkpoint; when the kill
+		// struck before the first snapshot, restart cold from the
+		// caller's x, which CG left at its last full iterate.
+		scfg.Resume = last
+		obs.GetCounter("recover.resumes").Add(1)
+	}
+}

@@ -82,6 +82,21 @@ func Schedule(s *comm.Schedule) uint64 {
 	return h.Sum64()
 }
 
+// Vector fingerprints a float64 vector's exact bit patterns: two runs
+// are bit-identical iff their Vector fingerprints match. Used by the
+// checkpoint/resume tests to compare whole solution vectors with one
+// equality. Solution-vector fingerprints are compared within a single
+// process, never stored in the golden file — floating-point contraction
+// differs across architectures, while the golden file must not.
+func Vector(xs []float64) uint64 {
+	h := fnv.New64a()
+	i64(h, int64(len(xs)))
+	for _, v := range xs {
+		u64(h, math.Float64bits(v))
+	}
+	return h.Sum64()
+}
+
 // Table fingerprints a rendered report table — headers, formatting,
 // and every cell — so the model outputs are pinned exactly as a human
 // reads them.

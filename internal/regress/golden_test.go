@@ -15,6 +15,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/partition"
 	"repro/internal/quake"
+	rec "repro/internal/recover"
 	"repro/internal/report"
 )
 
@@ -57,6 +58,25 @@ func fingerprints(t *testing.T) map[string]uint64 {
 					t.Fatal(err)
 				}
 				got["schedule/"+key] = Schedule(sched)
+				// Shrink-to-survivors is pure integer remapping, so its
+				// partition and re-derived schedule are golden-stable:
+				// pin the p−1 rebuild after losing PE 3.
+				if p == 8 && method == partition.RCB {
+					spt, err := rec.ShrinkPartition(m, pt, 3)
+					if err != nil {
+						t.Fatal(err)
+					}
+					spr, err := partition.Analyze(m, spt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ssched, err := comm.FromMatrix(spr.Msg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got["shrink/"+key+"/dead3/partition"] = Partition(spt)
+					got["shrink/"+key+"/dead3/schedule"] = Schedule(ssched)
+				}
 			}
 		}
 		f6, err := quake.Fig6Table([]quake.Scenario{s}, goldenPCounts, partition.RCB)

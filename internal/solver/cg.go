@@ -105,6 +105,26 @@ type Result struct {
 	// the true residual because a plain rollback had already been tried
 	// against the same checkpoint without an audit passing since.
 	Restarts int
+	// Checkpoints counts the State snapshots handed to
+	// Config.OnCheckpoint.
+	Checkpoints int
+}
+
+// State is a resumable snapshot of the CG iteration: exactly the tuple
+// (x, r, p, ρ) entering iteration Iter. Because each CG iteration reads
+// only that tuple (z and Ap are scratch, fully rewritten before use), a
+// solve resumed from a State retraces the uninterrupted iteration
+// bit for bit — same operator, same floats, same operation order. The
+// slices are private copies; the solver never aliases them with its
+// workspace.
+type State struct {
+	// Iter is the 0-based index of the next iteration to execute.
+	Iter int
+	// X, R, P are the iterate, recursive residual, and search direction
+	// entering iteration Iter.
+	X, R, P []float64
+	// Rho is ρ = rᵀz entering iteration Iter.
+	Rho float64
 }
 
 // Config controls the CG iteration.
@@ -140,6 +160,22 @@ type Config struct {
 	// MaxRecoveries bounds rollbacks + restarts per solve; exceeding it
 	// fails the solve with an error. Defaults to 5.
 	MaxRecoveries int
+	// CheckpointEvery > 0 arms durable checkpointing: OnCheckpoint
+	// receives a State snapshot before the first iteration and then
+	// after every CheckpointEvery-th iteration's (p, ρ) update — the
+	// consistent tuple entering the next iteration. Snapshots are taken
+	// off the per-iteration hot path and may allocate; they are
+	// independent of self-healing (CheckEvery). Ignored when
+	// OnCheckpoint is nil.
+	CheckpointEvery int
+	// OnCheckpoint consumes durable snapshots. The *State and its
+	// slices are owned by the callee.
+	OnCheckpoint func(*State)
+	// Resume, when non-nil, restarts the solve from a captured State
+	// instead of the caller's x: the snapshot's (x, r, p, ρ) are loaded
+	// and the iteration continues at State.Iter, reproducing the
+	// uninterrupted run bit for bit.
+	Resume *State
 }
 
 // Workspace holds CG's four iteration vectors (r, z, p, Ap) and, when
@@ -255,13 +291,6 @@ func CG(a Operator, b, x []float64, cfg Config) (*Result, error) {
 	}
 	r, z, p, ap := ws.r, ws.z, ws.p, ws.ap
 
-	if err := a.Apply(ap, x); err != nil {
-		return res, fmt.Errorf("solver: operator failed: %w", err)
-	}
-	res.SMVPs++
-	for i := range r {
-		r[i] = b[i] - ap[i]
-	}
 	normB := norm2(b)
 	res.DotProducts++
 	if normB == 0 {
@@ -280,11 +309,34 @@ func CG(a Operator, b, x []float64, cfg Config) (*Result, error) {
 			dst[i] = cfg.Precondition[i] * src[i]
 		}
 	}
-	applyPrec(z, r)
-	copy(p, z)
 	var rz, ckRz float64
-	rz = dot(r, z)
-	res.DotProducts++
+	startIter := 0
+	if st := cfg.Resume; st != nil {
+		if len(st.X) != n || len(st.R) != n || len(st.P) != n {
+			return nil, fmt.Errorf("solver: resume state dimension mismatch: x %d, r %d, p %d, want %d", len(st.X), len(st.R), len(st.P), n)
+		}
+		if st.Iter < 0 || st.Iter >= cfg.MaxIter {
+			return nil, fmt.Errorf("solver: resume iteration %d outside [0,%d)", st.Iter, cfg.MaxIter)
+		}
+		copy(x, st.X)
+		copy(r, st.R)
+		copy(p, st.P)
+		rz = st.Rho
+		startIter = st.Iter
+		obs.GetCounter("solver.cg.resumes").Add(1)
+	} else {
+		if err := a.Apply(ap, x); err != nil {
+			return res, fmt.Errorf("solver: operator failed: %w", err)
+		}
+		res.SMVPs++
+		for i := range r {
+			r[i] = b[i] - ap[i]
+		}
+		applyPrec(z, r)
+		copy(p, z)
+		rz = dot(r, z)
+		res.DotProducts++
+	}
 
 	// trueResidual evaluates ‖b − A·x‖ directly, using z as scratch (z
 	// is rebuilt from r before its next use on every path).
@@ -373,7 +425,28 @@ func CG(a Operator, b, x []float64, cfg Config) (*Result, error) {
 		res.DotProducts++
 	}
 
-	for iter := 0; iter < cfg.MaxIter; iter++ {
+	// Durable checkpoints: deep-copied States handed to the caller, who
+	// typically persists them (internal/recover) or holds them for a
+	// shrink-to-survivors rebuild. The cold path may allocate — only the
+	// SMVP inside Apply is alloc-free steady state.
+	durable := cfg.CheckpointEvery > 0 && cfg.OnCheckpoint != nil
+	snapshot := func(iter int) *State {
+		return &State{
+			Iter: iter,
+			X:    append([]float64(nil), x...),
+			R:    append([]float64(nil), r...),
+			P:    append([]float64(nil), p...),
+			Rho:  rz,
+		}
+	}
+	if durable && cfg.Resume == nil {
+		// Iteration-0 snapshot, so a fault before the first periodic
+		// checkpoint still leaves a consistent state to resume from.
+		res.Checkpoints++
+		cfg.OnCheckpoint(snapshot(0))
+	}
+
+	for iter := startIter; iter < cfg.MaxIter; iter++ {
 		res.Iterations = iter + 1
 		if err := a.Apply(ap, p); err != nil {
 			return res, fmt.Errorf("solver: operator failed at iteration %d: %w", iter, err)
@@ -473,6 +546,10 @@ func CG(a Operator, b, x []float64, cfg Config) (*Result, error) {
 			// (x_{k+1}, r_{k+1}, p_{k+1}, ρ_{k+1}) — exactly the state
 			// entering the next iteration, safe to resume from.
 			checkpoint(certTr)
+		}
+		if durable && (iter+1)%cfg.CheckpointEvery == 0 {
+			res.Checkpoints++
+			cfg.OnCheckpoint(snapshot(iter + 1))
 		}
 	}
 	return res, nil

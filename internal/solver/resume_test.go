@@ -1,0 +1,113 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCGResumeBitIdentical is the checkpoint/restart contract: a solve
+// interrupted at a durable checkpoint and resumed from it must retrace
+// the uninterrupted run bit for bit — identical solution bits,
+// identical final residual, identical total iteration count. This is
+// what lets a crashed quakesim pick up from disk with no numerical
+// drift.
+func TestCGResumeBitIdentical(t *testing.T) {
+	sys := buildSystem(t)
+	a := shifted(sys)
+	n := a.Dim()
+	rng := rand.New(rand.NewSource(11))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	cfg := Config{MaxIter: 4 * n, Tol: 1e-10}
+
+	// Reference: uninterrupted solve, recording every 7th-iteration state.
+	var states []*State
+	ref := make([]float64, n)
+	refCfg := cfg
+	refCfg.CheckpointEvery = 7
+	refCfg.OnCheckpoint = func(s *State) { states = append(states, s) }
+	refRes, err := CG(a, b, ref, refCfg)
+	if err != nil || !refRes.Converged {
+		t.Fatalf("reference solve: converged=%v err=%v", refRes != nil && refRes.Converged, err)
+	}
+	if refRes.Checkpoints != len(states) || len(states) < 3 {
+		t.Fatalf("checkpoints: counted %d, captured %d", refRes.Checkpoints, len(states))
+	}
+	if states[0].Iter != 0 || states[1].Iter != 7 {
+		t.Fatalf("checkpoint iterations %d, %d; want 0, 7", states[0].Iter, states[1].Iter)
+	}
+
+	// Resume from a mid-solve snapshot; the caller's x is ignored.
+	st := states[len(states)/2]
+	got := make([]float64, n)
+	resumeCfg := cfg
+	resumeCfg.Resume = st
+	gotRes, err := CG(a, b, got, resumeCfg)
+	if err != nil || !gotRes.Converged {
+		t.Fatalf("resumed solve: converged=%v err=%v", gotRes != nil && gotRes.Converged, err)
+	}
+	if gotRes.Iterations != refRes.Iterations {
+		t.Fatalf("resumed run took %d total iterations, uninterrupted took %d", gotRes.Iterations, refRes.Iterations)
+	}
+	if gotRes.Residual != refRes.Residual {
+		t.Fatalf("final residuals differ: %x vs %x", gotRes.Residual, refRes.Residual)
+	}
+	for i := range got {
+		if got[i] != ref[i] {
+			t.Fatalf("resumed solution differs from uninterrupted at %d: %x vs %x", i, got[i], ref[i])
+		}
+	}
+
+	// Resume also composes with self-healing and preconditioning.
+	prec := precFromDiagonal(a)
+	var pStates []*State
+	pRef := make([]float64, n)
+	pCfg := Config{MaxIter: 4 * n, Tol: 1e-10, Precondition: prec, CheckEvery: 5,
+		CheckpointEvery: 6, OnCheckpoint: func(s *State) { pStates = append(pStates, s) }}
+	pRefRes, err := CG(a, b, pRef, pCfg)
+	if err != nil || !pRefRes.Converged {
+		t.Fatalf("preconditioned reference: converged=%v err=%v", pRefRes != nil && pRefRes.Converged, err)
+	}
+	pGot := make([]float64, n)
+	pResume := Config{MaxIter: 4 * n, Tol: 1e-10, Precondition: prec, CheckEvery: 5,
+		Resume: pStates[len(pStates)/2]}
+	pGotRes, err := CG(a, b, pGot, pResume)
+	if err != nil || !pGotRes.Converged {
+		t.Fatalf("preconditioned resume: converged=%v err=%v", pGotRes != nil && pGotRes.Converged, err)
+	}
+	for i := range pGot {
+		if pGot[i] != pRef[i] {
+			t.Fatalf("preconditioned resumed solution differs at %d: %x vs %x", i, pGot[i], pRef[i])
+		}
+	}
+}
+
+func precFromDiagonal(a Shifted) []float64 {
+	d := a.Diagonal()
+	inv := make([]float64, len(d))
+	for i, v := range d {
+		inv[i] = 1 / v
+	}
+	return inv
+}
+
+// TestCGResumeValidation pins the resume-state checks: wrong dimensions
+// and out-of-range iterations are rejected up front, never solved.
+func TestCGResumeValidation(t *testing.T) {
+	sys := buildSystem(t)
+	a := shifted(sys)
+	n := a.Dim()
+	b := make([]float64, n)
+	b[0] = 1
+	x := make([]float64, n)
+	bad := &State{Iter: 0, X: make([]float64, n-1), R: make([]float64, n), P: make([]float64, n)}
+	if _, err := CG(a, b, x, Config{Resume: bad}); err == nil {
+		t.Fatal("short resume state accepted")
+	}
+	late := &State{Iter: 10, X: make([]float64, n), R: make([]float64, n), P: make([]float64, n)}
+	if _, err := CG(a, b, x, Config{MaxIter: 5, Resume: late}); err == nil {
+		t.Fatal("resume iteration past MaxIter accepted")
+	}
+}
