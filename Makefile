@@ -23,7 +23,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race . ./internal/fault/ ./internal/obs/ ./internal/par/ ./internal/recover/ ./internal/solver/ ./internal/spark/
+	$(GO) test -race . ./internal/fault/ ./internal/obs/... ./internal/par/ ./internal/recover/ ./internal/solver/ ./internal/spark/
 
 # The gate CI runs: build + vet + full tests (as a coverage run with a
 # floor), plus the race detector on the concurrency-heavy packages, plus

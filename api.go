@@ -1,6 +1,8 @@
 package quake
 
 import (
+	"context"
+
 	"repro/internal/comm"
 	"repro/internal/fault"
 	"repro/internal/fem"
@@ -10,6 +12,9 @@ import (
 	"repro/internal/mesh"
 	"repro/internal/model"
 	"repro/internal/network"
+	"repro/internal/obs"
+	"repro/internal/obs/analyze"
+	"repro/internal/obs/export"
 	"repro/internal/par"
 	"repro/internal/partition"
 	iq "repro/internal/quake"
@@ -375,3 +380,64 @@ func AggSweep(s Scenario, p int, method Method, nodeSizes []int, cfg TorusConfig
 func AggregationSummary(title string, rows []AggregationRow) *Table {
 	return report.AggregationSummary(title, rows)
 }
+
+// Observability: live telemetry, analytics, and the HTTP surface.
+type (
+	// MetricsSnapshot is a point-in-time copy of the telemetry
+	// registry: counters, gauges, log2 histograms, and per-PE phase
+	// accumulators. Sub produces the delta between two snapshots.
+	MetricsSnapshot = obs.Snapshot
+	// FlightEvent is one entry of the always-on flight-recorder ring.
+	FlightEvent = obs.FlightEvent
+	// AnalysisWindow is a per-PE view of accumulated phase time over a
+	// span of kernel iterations.
+	AnalysisWindow = analyze.Window
+	// AnalysisReport bundles λ, stragglers, the achieved T_f/T_c
+	// decomposition, and Eq.(2) drift for one window.
+	AnalysisReport = analyze.Report
+)
+
+// SetTelemetry enables or disables metric collection process-wide.
+// Collection is off by default; the hot paths stay allocation-free
+// either way.
+func SetTelemetry(enabled bool) { obs.SetEnabled(enabled) }
+
+// MetricsSnapshotNow copies the current state of the default registry.
+func MetricsSnapshotNow() *MetricsSnapshot { return obs.Default.Snapshot() }
+
+// ServeMetrics starts the observability HTTP server on addr (":0"
+// picks a free port): Prometheus text /metrics, JSON /metrics.json,
+// the flight ring at /flight, expvar /debug/vars, and /debug/pprof.
+// It returns the bound address and a shutdown function.
+func ServeMetrics(addr string) (string, func(context.Context) error, error) {
+	return export.Serve(addr)
+}
+
+// AnalyzeWindow extracts the per-PE phase window recorded between two
+// snapshots (prev may be nil for run-so-far totals) — the input to
+// AnalyzeFlat/AnalyzeAggregated.
+func AnalyzeWindow(cur, prev *MetricsSnapshot) (AnalysisWindow, bool) {
+	return analyze.FromSnapshots(cur, prev)
+}
+
+// AnalyzeFlat computes λ, stragglers, the achieved decomposition, and
+// Eq.(2) drift of a window against the flat-schedule model.
+func AnalyzeFlat(w AnalysisWindow, app AppProperties, Tl, Tw float64) AnalysisReport {
+	return analyze.Analyze(w, app, Tl, Tw)
+}
+
+// AnalyzeAggregated computes the same report against the two-level
+// aggregated exchange model.
+func AnalyzeAggregated(w AnalysisWindow, agg AggProperties, Tl, Tw float64, local LocalParams) AnalysisReport {
+	return analyze.AnalyzeAggregated(w, agg, Tl, Tw, local)
+}
+
+// ArmFlightDump points the process-wide flight recorder at a dump file
+// ("" disarms): when a PE faults, a barrier poisons, or a shrink
+// recovery fires, the ring of recent spans and fault/solver/recovery
+// events is written there as JSON.
+func ArmFlightDump(path string) { obs.FlightRecorder.SetDumpPath(path) }
+
+// FlightEvents returns the flight recorder's current ring contents,
+// oldest first.
+func FlightEvents() []FlightEvent { return obs.FlightRecorder.Events() }

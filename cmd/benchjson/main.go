@@ -7,8 +7,17 @@
 //
 // Usage:
 //
+// With -metrics it additionally folds a telemetry snapshot (the JSON
+// written by `quakerepro -metrics` or served at /metrics.json) into the
+// report as per-histogram p50/p95/max, so phase-latency percentiles
+// ride along with the ns/op numbers. Enabled/Disabled benchmark pairs
+// from internal/obs are summarized under obs_overhead, pinning the
+// per-operation cost of leaving telemetry on.
+//
+// Usage:
+//
 //	go test -bench=. -benchmem ./... | benchjson -out BENCH_2026-08-05.json
-//	benchjson -in bench_output.txt -out BENCH_2026-08-05.json
+//	benchjson -in bench_output.txt -metrics metrics.json -out BENCH_2026-08-05.json
 package main
 
 import (
@@ -24,6 +33,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Report is the file's shape: run metadata plus per-benchmark metrics.
@@ -46,6 +57,31 @@ type Report struct {
 	NsPerOp     map[string]float64 `json:"ns_per_op"`
 	BytesPerOp  map[string]float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp map[string]float64 `json:"allocs_per_op,omitempty"`
+	// ObsOverhead pairs every BenchmarkXxxEnabled/BenchmarkXxxDisabled
+	// couple found in the run — the telemetry primitives benchmark both
+	// states — so the cost of leaving collection on is tracked per
+	// commit alongside the kernel numbers.
+	ObsOverhead map[string]Overhead `json:"obs_overhead,omitempty"`
+	// Phases summarizes the histograms of a -metrics telemetry snapshot
+	// (quakerepro -metrics, or a saved /metrics.json) as latency
+	// percentiles, keyed by metric name.
+	Phases map[string]PhasePercentiles `json:"phase_percentiles,omitempty"`
+}
+
+// Overhead is one enabled-vs-disabled benchmark pair.
+type Overhead struct {
+	EnabledNs  float64 `json:"enabled_ns"`
+	DisabledNs float64 `json:"disabled_ns"`
+	DeltaNs    float64 `json:"delta_ns"`
+}
+
+// PhasePercentiles are the rank-interpolated percentiles of one
+// telemetry histogram.
+type PhasePercentiles struct {
+	Count int64   `json:"count"`
+	P50NS float64 `json:"p50_ns"`
+	P95NS float64 `json:"p95_ns"`
+	MaxNS int64   `json:"max_ns"`
 }
 
 // benchLine matches one benchmark result line, e.g.
@@ -62,15 +98,16 @@ var (
 func main() {
 	in := flag.String("in", "", "input file (default: stdin)")
 	out := flag.String("out", "", "output JSON file (default: stdout)")
+	metrics := flag.String("metrics", "", "telemetry snapshot JSON to fold in as phase percentiles")
 	flag.Parse()
 
-	if err := run(*in, *out); err != nil {
+	if err := run(*in, *out, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(inPath, outPath string) error {
+func run(inPath, outPath, metricsPath string) error {
 	var r io.Reader = os.Stdin
 	if inPath != "" {
 		f, err := os.Open(inPath)
@@ -86,6 +123,12 @@ func run(inPath, outPath string) error {
 	}
 	if len(rep.NsPerOp) == 0 {
 		return fmt.Errorf("no benchmark results found in input")
+	}
+	if metricsPath != "" {
+		rep.Phases, err = phasePercentiles(metricsPath)
+		if err != nil {
+			return fmt.Errorf("-metrics: %w", err)
+		}
 	}
 	var w io.Writer = os.Stdout
 	if outPath != "" {
@@ -150,7 +193,59 @@ func parse(r io.Reader) (*Report, error) {
 	if len(rep.AllocsPerOp) == 0 {
 		rep.AllocsPerOp = nil
 	}
+	rep.ObsOverhead = obsOverhead(rep.NsPerOp)
 	return rep, sc.Err()
+}
+
+// obsOverhead pairs BenchmarkXxxEnabled with BenchmarkXxxDisabled and
+// keys the result by the bare Xxx; unpaired benchmarks are skipped.
+func obsOverhead(ns map[string]float64) map[string]Overhead {
+	out := make(map[string]Overhead)
+	for name, en := range ns {
+		if !strings.HasSuffix(name, "Enabled") {
+			continue
+		}
+		base := strings.TrimSuffix(name, "Enabled")
+		dis, ok := ns[base+"Disabled"]
+		if !ok {
+			continue
+		}
+		key := strings.TrimPrefix(base, "Benchmark")
+		out[key] = Overhead{EnabledNs: en, DisabledNs: dis, DeltaNs: en - dis}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// phasePercentiles reads a telemetry snapshot and summarizes every
+// non-empty histogram as p50/p95/max.
+func phasePercentiles(path string) (map[string]PhasePercentiles, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s obs.Snapshot
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, err
+	}
+	out := make(map[string]PhasePercentiles)
+	for name, h := range s.Histograms {
+		if h.Count == 0 {
+			continue
+		}
+		out[name] = PhasePercentiles{
+			Count: h.Count,
+			P50NS: h.Quantile(0.50),
+			P95NS: h.Quantile(0.95),
+			MaxNS: h.Max,
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no histogram observations in snapshot", path)
+	}
+	return out, nil
 }
 
 // gitInfo returns HEAD's hash and whether the working tree differs

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 const sampleOutput = `goos: linux
@@ -103,7 +105,7 @@ func TestRunEndToEnd(t *testing.T) {
 	if err := os.WriteFile(in, []byte(sampleOutput), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(in, out); err != nil {
+	if err := run(in, out, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -119,13 +121,94 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 }
 
+// TestObsOverhead: Enabled/Disabled benchmark pairs from the telemetry
+// package collapse into an obs_overhead entry; unpaired names do not.
+func TestObsOverhead(t *testing.T) {
+	const out = `BenchmarkHistogramEnabled-8 	 1000000 	 12.5 ns/op
+BenchmarkHistogramDisabled-8 	 1000000 	 2.5 ns/op
+BenchmarkPEAccumEnabled-8 	 1000000 	 8.0 ns/op
+BenchmarkFlightRecord-8 	 1000000 	 50 ns/op
+`
+	rep, err := parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.ObsOverhead) != 1 {
+		t.Fatalf("ObsOverhead = %v, want exactly the Histogram pair", rep.ObsOverhead)
+	}
+	ov, ok := rep.ObsOverhead["Histogram"]
+	if !ok || ov.EnabledNs != 12.5 || ov.DisabledNs != 2.5 || ov.DeltaNs != 10 {
+		t.Errorf("Histogram overhead = %+v, want {12.5 2.5 10}", ov)
+	}
+}
+
+// TestPhasePercentiles: a telemetry snapshot produced by the real
+// registry folds into the report as histogram percentiles.
+func TestPhasePercentiles(t *testing.T) {
+	r := obs.NewRegistry()
+	prev := obs.Enabled()
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(prev)
+	h := r.Histogram("par.phase.compute.hist_ns")
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "metrics.json")
+	f, err := os.Create(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Snapshot().WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	in := filepath.Join(dir, "bench.txt")
+	out := filepath.Join(dir, "bench.json")
+	if err := os.WriteFile(in, []byte(sampleOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(in, out, snap); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	pp, ok := rep.Phases["par.phase.compute.hist_ns"]
+	if !ok {
+		t.Fatalf("phase_percentiles missing the histogram: %+v", rep.Phases)
+	}
+	if pp.Count != 100 || pp.MaxNS != 100 {
+		t.Errorf("count=%d max=%d, want 100/100", pp.Count, pp.MaxNS)
+	}
+	if pp.P50NS <= 0 || pp.P95NS < pp.P50NS || float64(pp.MaxNS) < pp.P95NS {
+		t.Errorf("percentile ordering broken: p50=%g p95=%g max=%d", pp.P50NS, pp.P95NS, pp.MaxNS)
+	}
+
+	// A snapshot with no observations is an explicit error, not a
+	// silently empty report section.
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"counters":{},"gauges":{},"histograms":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(in, out, empty); err == nil {
+		t.Error("want error for a snapshot with no histogram observations")
+	}
+}
+
 func TestRunNoResults(t *testing.T) {
 	dir := t.TempDir()
 	in := filepath.Join(dir, "empty.txt")
 	if err := os.WriteFile(in, []byte("PASS\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(in, filepath.Join(dir, "out.json")); err == nil {
+	if err := run(in, filepath.Join(dir, "out.json"), ""); err == nil {
 		t.Fatal("want error on input with no benchmark lines")
 	}
 }

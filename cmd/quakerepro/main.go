@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +25,7 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/obs/export"
 	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/quake"
@@ -37,15 +39,25 @@ func main() {
 	trace := flag.String("trace", "", "write a Chrome trace_event JSON file here")
 	metrics := flag.String("metrics", "", "write a metrics snapshot JSON file here")
 	pes := flag.Int("pes", 8, "PE count of the measured pass run for -trace/-metrics")
+	httpAddr := flag.String("http", "", "serve live observability on this address while the figures regenerate (Prometheus /metrics, /metrics.json, /flight, expvar, pprof)")
 	flag.Parse()
 
-	if err := run(*scenarios, *out, *format, *trace, *metrics, *pes); err != nil {
+	if err := run(*scenarios, *out, *format, *trace, *metrics, *pes, *httpAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "quakerepro:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scenarioList, outDir, format, tracePath, metricsPath string, pes int) error {
+func run(scenarioList, outDir, format, tracePath, metricsPath string, pes int, httpAddr string) error {
+	if httpAddr != "" {
+		obs.SetEnabled(true)
+		addr, shutdown, err := export.Serve(httpAddr)
+		if err != nil {
+			return fmt.Errorf("-http: %w", err)
+		}
+		defer shutdown(context.Background())
+		fmt.Printf("observability: http://%s/\n", addr)
+	}
 	telemetry := tracePath != "" || metricsPath != ""
 	if telemetry {
 		obs.SetEnabled(true)

@@ -14,7 +14,7 @@ import (
 
 func TestRunText(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("sf10", dir, "text", "", "", 8); err != nil {
+	if err := run("sf10", dir, "text", "", "", 8, ""); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{
@@ -34,7 +34,7 @@ func TestRunText(t *testing.T) {
 
 func TestRunMarkdown(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("sf10", dir, "md", "", "", 8); err != nil {
+	if err := run("sf10", dir, "md", "", "", 8, ""); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "fig7_properties.md")); err != nil {
@@ -44,7 +44,7 @@ func TestRunMarkdown(t *testing.T) {
 
 func TestRunCSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("sf10", dir, "csv", "", "", 8); err != nil {
+	if err := run("sf10", dir, "csv", "", "", 8, ""); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "fig7_properties.csv")); err != nil {
@@ -53,10 +53,10 @@ func TestRunCSV(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("sf10", t.TempDir(), "xml", "", "", 8); err == nil {
+	if err := run("sf10", t.TempDir(), "xml", "", "", 8, ""); err == nil {
 		t.Error("unknown format accepted")
 	}
-	if err := run("bogus", t.TempDir(), "text", "", "", 8); err == nil {
+	if err := run("bogus", t.TempDir(), "text", "", "", 8, ""); err == nil {
 		t.Error("unknown scenario accepted")
 	}
 }
@@ -72,7 +72,7 @@ func TestRunTelemetry(t *testing.T) {
 	metricsPath := filepath.Join(dir, "metrics.json")
 
 	before := obs.Default.Snapshot()
-	if err := run("sf10", dir, "text", tracePath, metricsPath, pes); err != nil {
+	if err := run("sf10", dir, "text", tracePath, metricsPath, pes, ""); err != nil {
 		t.Fatal(err)
 	}
 

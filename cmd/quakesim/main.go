@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/mesh"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/obs/export"
 	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/quake"
@@ -59,9 +61,20 @@ type options struct {
 	everySet   bool
 	// resume is the directory the run restarts from.
 	resume string
+	// http is the observability listen address (expvar, Prometheus
+	// /metrics, JSON snapshot, pprof, flight ring); "" disables it.
+	http string
+	// flight is the flight-recorder auto-dump path; "" leaves dumping
+	// disarmed. main() defaults it when a fault plan is armed.
+	flight string
 
 	// plan is the parsed -faults plan, filled in by validate.
 	plan *fault.Plan
+
+	// httpReady, when non-nil, receives the bound -http address once the
+	// server is up (non-blocking send). Tests use it to query the
+	// endpoints mid-solve.
+	httpReady chan string
 }
 
 // parseOptions binds the flag set. Parse errors (unknown flags, bad
@@ -80,6 +93,8 @@ func parseOptions(args []string, out io.Writer) (*options, error) {
 	fs.StringVar(&opt.checkpoint, "checkpoint", "", "write durable solver checkpoints to this directory (see -every)")
 	fs.IntVar(&opt.every, "every", 10, "checkpoint period in CG iterations (requires -checkpoint)")
 	fs.StringVar(&opt.resume, "resume", "", "resume the solve from the latest checkpoint in this directory")
+	fs.StringVar(&opt.http, "http", "", "serve live observability on this address (e.g. ':8080'): Prometheus /metrics, /metrics.json, /flight, expvar /debug/vars, /debug/pprof")
+	fs.StringVar(&opt.flight, "flight", "", "arm the flight recorder to dump its ring to this file when a PE faults or a recovery fires (defaults to quakesim.flight.trace.json when -faults is set)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -142,6 +157,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "run 'quakesim -h' for usage")
 		os.Exit(2)
 	}
+	// CLI nicety only (direct run() callers opt in explicitly): a fault
+	// soak without a dump destination still gets its post-mortem.
+	if opt.flight == "" && opt.faults != "" {
+		opt.flight = "quakesim.flight.trace.json"
+	}
 	if err := run(opt); err != nil {
 		fmt.Fprintln(os.Stderr, "quakesim:", err)
 		os.Exit(1)
@@ -159,6 +179,27 @@ func run(opt *options) error {
 		var err error
 		if plan, err = fault.Parse(opt.faults); err != nil {
 			return err
+		}
+	}
+	if opt.flight != "" {
+		obs.FlightRecorder.SetDumpPath(opt.flight)
+		defer obs.FlightRecorder.SetDumpPath("")
+	}
+	if opt.http != "" {
+		// Live inspection implies telemetry: enable the registry so the
+		// endpoints have something to serve.
+		obs.SetEnabled(true)
+		addr, shutdown, err := export.Serve(opt.http)
+		if err != nil {
+			return fmt.Errorf("-http: %w", err)
+		}
+		defer shutdown(context.Background())
+		fmt.Printf("observability: http://%s/ (metrics, flight ring, pprof)\n", addr)
+		if opt.httpReady != nil {
+			select {
+			case opt.httpReady <- addr:
+			default:
+			}
 		}
 	}
 	if tracePath != "" || metricsPath != "" {

@@ -46,6 +46,7 @@ type Injector struct {
 	iter   atomic.Int64
 	counts [numKinds]atomic.Int64
 	met    [numKinds]*obs.Counter
+	names  [numKinds]string // flight-recorder names, prebuilt so note stays allocation-free
 }
 
 // NewInjector compiles a plan into an armed injector. The plan is
@@ -59,7 +60,8 @@ func NewInjector(p *Plan) *Injector {
 		in.seed = 1
 	}
 	for k := 0; k < numKinds; k++ {
-		in.met[k] = obs.GetCounter("fault.injected." + kindNames[k])
+		in.names[k] = "fault.injected." + kindNames[k]
+		in.met[k] = obs.GetCounter(in.names[k])
 	}
 	return in
 }
@@ -101,9 +103,10 @@ func (in *Injector) Total() int64 {
 	return t
 }
 
-func (in *Injector) note(k Kind) {
+func (in *Injector) note(k Kind, pe int, iter int64) {
 	in.counts[k].Add(1)
 	in.met[k].Add(1)
+	obs.RecordFlight(obs.FlightFault, in.names[k], pe, iter, 0)
 }
 
 func (e *Event) fires(iter int64) bool {
@@ -122,13 +125,13 @@ func (in *Injector) AfterCompute(pe int, iter int64) {
 		}
 		switch e.Kind {
 		case Stall:
-			in.note(Stall)
+			in.note(Stall, pe, iter)
 			time.Sleep(e.Dur)
 		case Panic:
-			in.note(Panic)
+			in.note(Panic, pe, iter)
 			panic(&Injected{PE: pe, Iter: iter})
 		case Kill:
-			in.note(Kill)
+			in.note(Kill, pe, iter)
 			panic(&Killed{PE: pe, Iter: iter})
 		}
 	}
@@ -163,7 +166,7 @@ func (in *Injector) CorruptSend(pe, dst int, iter int64, buf []float64) {
 			b = 52 + int((h>>32)%11)
 		}
 		buf[w] = math.Float64frombits(math.Float64bits(buf[w]) ^ (1 << uint(b)))
-		in.note(Corrupt)
+		in.note(Corrupt, pe, iter)
 	}
 }
 
@@ -181,13 +184,13 @@ func (in *Injector) Deliver(src, dst int, iter int64) int {
 		}
 		switch e.Kind {
 		case Drop:
-			in.note(Drop)
+			in.note(Drop, src, iter)
 			reps = 0
 		case Dup:
-			in.note(Dup)
+			in.note(Dup, src, iter)
 			reps = 2
 		case Delay:
-			in.note(Delay)
+			in.note(Delay, src, iter)
 			time.Sleep(e.Dur)
 		}
 	}

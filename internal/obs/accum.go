@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"sync/atomic"
+)
+
+// PEAccum is a per-PE accumulator: one (count, sum, max) triple per
+// processing element, updated lock-free by the PE goroutines. It is the
+// registry's answer to the paper's per-PE load question — λ = max/mean
+// of per-PE compute time needs every PE's accumulated phase time, not a
+// single merged histogram — without the per-name map lookups and string
+// formatting that made "metric.pe<i>" counters awkward to consume.
+//
+// Observe is allocation-free and gated on the global telemetry flag,
+// so instrument sites resolve the accumulator once and call it from the
+// kernel hot path; the analyze package reads the per-slot sums out of a
+// registry snapshot.
+type PEAccum struct {
+	slots atomic.Pointer[[]peSlot]
+}
+
+// peSlot is one PE's accumulator cell.
+type peSlot struct {
+	count atomic.Int64
+	sum   atomic.Int64
+	max   atomic.Int64
+}
+
+// Observe adds v to PE pe's slot when telemetry is enabled. A nil
+// accumulator and an out-of-range pe are no-ops, so optional
+// instrumentation needs no guards.
+func (a *PEAccum) Observe(pe int, v int64) {
+	if a == nil || !enabled.Load() {
+		return
+	}
+	sp := a.slots.Load()
+	if sp == nil || pe < 0 || pe >= len(*sp) {
+		return
+	}
+	s := &(*sp)[pe]
+	s.count.Add(1)
+	s.sum.Add(v)
+	for {
+		m := s.max.Load()
+		if v <= m || s.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Size returns the number of PE slots.
+func (a *PEAccum) Size() int {
+	if a == nil {
+		return 0
+	}
+	sp := a.slots.Load()
+	if sp == nil {
+		return 0
+	}
+	return len(*sp)
+}
+
+// grow widens the accumulator to at least n slots, preserving recorded
+// values. Called with the registry lock held (construction time, never
+// the hot path). Concurrent Observes during the swap land in whichever
+// slice they loaded; a just-copied slot may lose one racing update,
+// which is acceptable for construction-time resizing.
+func (a *PEAccum) grow(n int) {
+	old := a.slots.Load()
+	if old != nil && len(*old) >= n {
+		return
+	}
+	slots := make([]peSlot, n)
+	if old != nil {
+		for i := range *old {
+			s := &(*old)[i]
+			slots[i].count.Store(s.count.Load())
+			slots[i].sum.Store(s.sum.Load())
+			slots[i].max.Store(s.max.Load())
+		}
+	}
+	a.slots.Store(&slots)
+}
+
+// PEAccumSnapshot is the serializable state of a per-PE accumulator:
+// parallel per-PE vectors, index = PE number.
+type PEAccumSnapshot struct {
+	Count []int64 `json:"count"`
+	Sum   []int64 `json:"sum"`
+	Max   []int64 `json:"max"`
+}
+
+// Snapshot copies the accumulator's current state.
+func (a *PEAccum) Snapshot() PEAccumSnapshot {
+	var out PEAccumSnapshot
+	if a == nil {
+		return out
+	}
+	sp := a.slots.Load()
+	if sp == nil {
+		return out
+	}
+	n := len(*sp)
+	out.Count = make([]int64, n)
+	out.Sum = make([]int64, n)
+	out.Max = make([]int64, n)
+	for i := range *sp {
+		s := &(*sp)[i]
+		out.Count[i] = s.count.Load()
+		out.Sum[i] = s.sum.Load()
+		out.Max[i] = s.max.Load()
+	}
+	return out
+}
+
+// Sub returns the per-PE delta since prev. Slots prev did not have
+// (the accumulator grew) keep their full values; Max is this
+// snapshot's, as a running maximum cannot be differenced.
+func (as PEAccumSnapshot) Sub(prev PEAccumSnapshot) PEAccumSnapshot {
+	out := PEAccumSnapshot{
+		Count: make([]int64, len(as.Count)),
+		Sum:   make([]int64, len(as.Sum)),
+		Max:   append([]int64(nil), as.Max...),
+	}
+	for i, v := range as.Count {
+		if i < len(prev.Count) {
+			v -= prev.Count[i]
+		}
+		out.Count[i] = v
+	}
+	for i, v := range as.Sum {
+		if i < len(prev.Sum) {
+			v -= prev.Sum[i]
+		}
+		out.Sum[i] = v
+	}
+	return out
+}
+
+// PEAccum returns the named accumulator with at least n slots, creating
+// or widening it as needed. Like the other registry accessors it is a
+// construction-time call: resolve once, then Observe from the hot path.
+func (r *Registry) PEAccum(name string, n int) *PEAccum {
+	r.mu.RLock()
+	a, ok := r.accums[name]
+	r.mu.RUnlock()
+	if ok && a.Size() >= n {
+		return a
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if a, ok = r.accums[name]; !ok {
+		a = &PEAccum{}
+		r.accums[name] = a
+	}
+	a.grow(n)
+	return a
+}
+
+// GetPEAccum resolves a per-PE accumulator in the default registry.
+func GetPEAccum(name string, n int) *PEAccum { return Default.PEAccum(name, n) }

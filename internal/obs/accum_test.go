@@ -1,0 +1,258 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	withEnabled(t, func() {
+		r := NewRegistry()
+		h := r.Histogram("q.hist")
+		// 100 observations 1..100: p50 should land near 50, p95 near 95,
+		// max exactly 100 (the atomic max makes Quantile(1) exact).
+		for v := int64(1); v <= 100; v++ {
+			h.Observe(v)
+		}
+		s := r.Snapshot().Histograms["q.hist"]
+		if s.Max != 100 {
+			t.Fatalf("Max = %d, want 100", s.Max)
+		}
+		if got := s.Quantile(1); got != 100 {
+			t.Fatalf("Quantile(1) = %g, want 100", got)
+		}
+		// log2 buckets give coarse interpolation; allow one bucket of slack.
+		if p50 := s.Quantile(0.5); p50 < 32 || p50 > 64 {
+			t.Fatalf("Quantile(0.5) = %g, want within [32,64]", p50)
+		}
+		if p95 := s.Quantile(0.95); p95 < 64 || p95 > 100 {
+			t.Fatalf("Quantile(0.95) = %g, want within [64,100]", p95)
+		}
+		if mean := s.Mean(); math.Abs(mean-50.5) > 1e-9 {
+			t.Fatalf("Mean = %g, want 50.5", mean)
+		}
+		// Out-of-range q clamps to [0,1].
+		if s.Quantile(-1) != s.Quantile(0) || s.Quantile(2) != 100 {
+			t.Fatalf("out-of-range quantiles misbehaved: %g %g",
+				s.Quantile(-1), s.Quantile(2))
+		}
+	})
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	var s HistogramSnapshot
+	if s.Quantile(0.5) != 0 || s.Mean() != 0 {
+		t.Fatal("empty snapshot should report zero quantile and mean")
+	}
+}
+
+func TestSnapshotSubDelta(t *testing.T) {
+	withEnabled(t, func() {
+		r := NewRegistry()
+		c := r.Counter("d.counter")
+		h := r.Histogram("d.hist")
+		a := r.PEAccum("d.accum", 2)
+		c.Add(10)
+		h.Observe(4)
+		a.Observe(0, 7)
+		before := r.Snapshot()
+		c.Add(5)
+		h.Observe(4)
+		h.Observe(1024)
+		a.Observe(0, 3)
+		a.Observe(1, 9)
+		after := r.Snapshot()
+
+		d := after.Sub(before)
+		if got := d.Counters["d.counter"]; got != 5 {
+			t.Fatalf("counter delta = %d, want 5", got)
+		}
+		dh := d.Histograms["d.hist"]
+		if dh.Count != 2 || dh.Sum != 1028 {
+			t.Fatalf("hist delta count=%d sum=%d, want 2/1028", dh.Count, dh.Sum)
+		}
+		if dh.Max != 1024 {
+			t.Fatalf("hist delta keeps current max: got %d, want 1024", dh.Max)
+		}
+		da := d.PEAccums["d.accum"]
+		if da.Count[0] != 1 || da.Sum[0] != 3 {
+			t.Fatalf("PE0 delta = %d/%d, want 1/3", da.Count[0], da.Sum[0])
+		}
+		if da.Count[1] != 1 || da.Sum[1] != 9 {
+			t.Fatalf("PE1 delta = %d/%d, want 1/9", da.Count[1], da.Sum[1])
+		}
+	})
+}
+
+func TestPEAccumBasics(t *testing.T) {
+	withEnabled(t, func() {
+		r := NewRegistry()
+		a := r.PEAccum("pe.accum", 3)
+		if a.Size() != 3 {
+			t.Fatalf("Size = %d, want 3", a.Size())
+		}
+		a.Observe(0, 5)
+		a.Observe(0, 2)
+		a.Observe(2, 11)
+		// Out-of-range and nil are silent no-ops.
+		a.Observe(-1, 1)
+		a.Observe(3, 1)
+		var nilA *PEAccum
+		nilA.Observe(0, 1)
+		if nilA.Size() != 0 {
+			t.Fatal("nil accumulator should have size 0")
+		}
+
+		s := a.Snapshot()
+		if s.Count[0] != 2 || s.Sum[0] != 7 || s.Max[0] != 5 {
+			t.Fatalf("PE0 = %d/%d/%d, want 2/7/5", s.Count[0], s.Sum[0], s.Max[0])
+		}
+		if s.Count[1] != 0 || s.Sum[1] != 0 {
+			t.Fatalf("PE1 should be empty, got %d/%d", s.Count[1], s.Sum[1])
+		}
+		if s.Count[2] != 1 || s.Sum[2] != 11 || s.Max[2] != 11 {
+			t.Fatalf("PE2 = %d/%d/%d, want 1/11/11", s.Count[2], s.Sum[2], s.Max[2])
+		}
+	})
+}
+
+func TestPEAccumGrow(t *testing.T) {
+	withEnabled(t, func() {
+		r := NewRegistry()
+		a := r.PEAccum("grow.accum", 2)
+		a.Observe(1, 42)
+		// Re-resolving with a larger size widens in place, preserving data.
+		b := r.PEAccum("grow.accum", 4)
+		if a != b {
+			t.Fatal("PEAccum should return the same accumulator")
+		}
+		if b.Size() != 4 {
+			t.Fatalf("Size after grow = %d, want 4", b.Size())
+		}
+		s := b.Snapshot()
+		if s.Sum[1] != 42 {
+			t.Fatalf("grow lost data: sum[1] = %d, want 42", s.Sum[1])
+		}
+		// Re-resolving smaller never shrinks.
+		if r.PEAccum("grow.accum", 1).Size() != 4 {
+			t.Fatal("PEAccum must not shrink")
+		}
+	})
+}
+
+func TestPEAccumDisabled(t *testing.T) {
+	prev := Enabled()
+	SetEnabled(false)
+	defer SetEnabled(prev)
+	r := NewRegistry()
+	a := r.PEAccum("off.accum", 2)
+	a.Observe(0, 9)
+	if s := a.Snapshot(); s.Count[0] != 0 {
+		t.Fatal("disabled accumulator recorded an observation")
+	}
+}
+
+// TestConcurrentHistogramSnapshot races many histogram and PEAccum
+// writers against snapshot readers; correctness here is "the race
+// detector stays quiet and totals add up".
+func TestConcurrentHistogramSnapshot(t *testing.T) {
+	withEnabled(t, func() {
+		r := NewRegistry()
+		const writers = 8
+		const perWriter = 2000
+		h := r.Histogram("race.hist")
+		a := r.PEAccum("race.accum", writers)
+
+		var wg sync.WaitGroup
+		wg.Add(writers + 2)
+		for w := 0; w < writers; w++ {
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < perWriter; i++ {
+					h.Observe(int64(i))
+					a.Observe(w, 1)
+				}
+			}(w)
+		}
+		// Two readers snapshotting concurrently with the writers.
+		for rd := 0; rd < 2; rd++ {
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 200; i++ {
+					s := r.Snapshot()
+					hs := s.Histograms["race.hist"]
+					var bucketTotal int64
+					for _, b := range hs.Buckets {
+						bucketTotal += b.Count
+					}
+					if bucketTotal != hs.Count {
+						t.Errorf("snapshot bucket total %d != count %d",
+							bucketTotal, hs.Count)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+
+		s := r.Snapshot()
+		if got := s.Histograms["race.hist"].Count; got != writers*perWriter {
+			t.Fatalf("hist count = %d, want %d", got, writers*perWriter)
+		}
+		as := s.PEAccums["race.accum"]
+		for w := 0; w < writers; w++ {
+			if as.Count[w] != perWriter {
+				t.Fatalf("PE%d count = %d, want %d", w, as.Count[w], perWriter)
+			}
+		}
+	})
+}
+
+func BenchmarkHistogramEnabled(b *testing.B) {
+	prev := Enabled()
+	SetEnabled(true)
+	defer SetEnabled(prev)
+	r := NewRegistry()
+	h := r.Histogram("bench.hist")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkHistogramDisabled(b *testing.B) {
+	prev := Enabled()
+	SetEnabled(false)
+	defer SetEnabled(prev)
+	r := NewRegistry()
+	h := r.Histogram("bench.hist")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkPEAccumEnabled(b *testing.B) {
+	prev := Enabled()
+	SetEnabled(true)
+	defer SetEnabled(prev)
+	r := NewRegistry()
+	a := r.PEAccum("bench.accum", 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Observe(i&7, int64(i))
+	}
+}
+
+func BenchmarkPEAccumDisabled(b *testing.B) {
+	prev := Enabled()
+	SetEnabled(false)
+	defer SetEnabled(prev)
+	r := NewRegistry()
+	a := r.PEAccum("bench.accum", 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Observe(i&7, int64(i))
+	}
+}

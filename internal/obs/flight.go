@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Flight is the fault flight recorder: an always-on, bounded ring
+// buffer of recent phase spans and solver/fault/recovery events. Unlike
+// the metrics registry (gated by the global telemetry flag) and the
+// tracer (active only when installed), the recorder runs unconditionally
+// — recording is a mutex, a few stores into a preallocated slot, and no
+// allocation, cheap enough to leave enabled in production. When a PE
+// faults, the barrier poisons, or a shrink-to-survivors recovery fires,
+// the runtime dumps the ring to a trace file (Dump), turning the
+// reliability machinery's last moments from silent into forensic: the
+// dump shows exactly which PEs were in which phase, what the injector
+// did, and how the recovery unfolded, in the order it happened.
+type Flight struct {
+	mu    sync.Mutex
+	start time.Time
+	buf   []FlightEvent
+	seq   uint64 // total events ever recorded; buf[(seq-1)%len] is newest
+	path  string // auto-dump destination; "" disables dumping
+}
+
+// FlightKind classifies a recorded event.
+type FlightKind uint8
+
+const (
+	// FlightSpan is a completed kernel phase on one PE.
+	FlightSpan FlightKind = iota
+	// FlightFault is an injected or genuine fault (PE panic, corrupt
+	// delivery, barrier poison).
+	FlightFault
+	// FlightSolver is a solver lifecycle event (detection, rollback,
+	// restart, resume).
+	FlightSolver
+	// FlightRecovery is a recovery action (shrink, checkpoint, restore).
+	FlightRecovery
+
+	numFlightKinds = 4
+)
+
+var flightKindNames = [numFlightKinds]string{"span", "fault", "solver", "recovery"}
+
+// String returns the kind's dump-file name.
+func (k FlightKind) String() string {
+	if int(k) < len(flightKindNames) {
+		return flightKindNames[k]
+	}
+	return "unknown"
+}
+
+// FlightEvent is one recorded event. PE is −1 for driver-side events;
+// Iter is the fault injector's kernel index when one is armed (0
+// otherwise); Dur is zero for instantaneous events.
+type FlightEvent struct {
+	Seq  uint64
+	T    time.Duration // since recorder start
+	Kind FlightKind
+	Name string
+	PE   int
+	Iter int64
+	Dur  time.Duration
+}
+
+// NewFlight returns a recorder holding the most recent n events.
+func NewFlight(n int) *Flight {
+	if n < 1 {
+		n = 1
+	}
+	return &Flight{start: time.Now(), buf: make([]FlightEvent, n)}
+}
+
+// FlightRecorder is the process-wide recorder the runtime records into.
+// 4096 events hold several hundred SMVP invocations of per-PE context
+// at typical PE counts — ample history for a post-mortem.
+var FlightRecorder = NewFlight(4096)
+
+// Record appends an event to the ring, overwriting the oldest once
+// full. Allocation-free: callers pass static (or prebuilt) names.
+func (f *Flight) Record(kind FlightKind, name string, pe int, iter int64, dur time.Duration) {
+	if f == nil {
+		return
+	}
+	t := time.Since(f.start)
+	f.mu.Lock()
+	e := &f.buf[f.seq%uint64(len(f.buf))]
+	f.seq++
+	e.Seq = f.seq
+	e.T = t
+	e.Kind = kind
+	e.Name = name
+	e.PE = pe
+	e.Iter = iter
+	e.Dur = dur
+	f.mu.Unlock()
+}
+
+// Events returns the recorded events, oldest first.
+func (f *Flight) Events() []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := f.seq
+	cap64 := uint64(len(f.buf))
+	if n > cap64 {
+		n = cap64
+	}
+	out := make([]FlightEvent, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, f.buf[(f.seq-n+i)%cap64])
+	}
+	return out
+}
+
+// Len returns how many events the ring currently holds.
+func (f *Flight) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.seq > uint64(len(f.buf)) {
+		return len(f.buf)
+	}
+	return int(f.seq)
+}
+
+// SetDumpPath sets the file Dump writes to; "" disables dumping (the
+// default, so tests and libraries never drop files into the working
+// directory uninvited). CLIs set it when reliability machinery is
+// armed.
+func (f *Flight) SetDumpPath(path string) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.path = path
+	f.mu.Unlock()
+}
+
+// DumpPath returns the configured auto-dump destination.
+func (f *Flight) DumpPath() string {
+	if f == nil {
+		return ""
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.path
+}
+
+// flightDump is the on-disk shape of a flight-recorder dump.
+type flightDump struct {
+	Reason   string            `json:"reason"`
+	DumpedAt string            `json:"dumped_at"`
+	Events   []flightDumpEvent `json:"events"`
+}
+
+type flightDumpEvent struct {
+	Seq  uint64  `json:"seq"`
+	TUs  float64 `json:"t_us"`
+	Kind string  `json:"kind"`
+	Name string  `json:"name"`
+	PE   int     `json:"pe"`
+	Iter int64   `json:"iter,omitempty"`
+	DUs  float64 `json:"dur_us,omitempty"`
+}
+
+// WriteJSON serializes the ring (oldest first) with the dump reason.
+func (f *Flight) WriteJSON(w io.Writer, reason string) error {
+	events := f.Events()
+	d := flightDump{
+		Reason:   reason,
+		DumpedAt: time.Now().UTC().Format(time.RFC3339Nano),
+		Events:   make([]flightDumpEvent, len(events)),
+	}
+	for i, e := range events {
+		d.Events[i] = flightDumpEvent{
+			Seq:  e.Seq,
+			TUs:  float64(e.T) / float64(time.Microsecond),
+			Kind: e.Kind.String(),
+			Name: e.Name,
+			PE:   e.PE,
+			Iter: e.Iter,
+			DUs:  float64(e.Dur) / float64(time.Microsecond),
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(d)
+}
+
+// Dump writes the ring to the configured path (overwriting an earlier
+// dump — later dumps carry strictly more context) and returns the path
+// written, or "" when dumping is disabled. Failures are returned, not
+// fatal: the recorder is forensics, never the reason a run dies.
+func (f *Flight) Dump(reason string) (string, error) {
+	path := f.DumpPath()
+	if path == "" {
+		return "", nil
+	}
+	file, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := f.WriteJSON(file, reason); err != nil {
+		file.Close()
+		return "", err
+	}
+	return path, file.Close()
+}
+
+// RecordFlight records into the process-wide recorder.
+func RecordFlight(kind FlightKind, name string, pe int, iter int64, dur time.Duration) {
+	FlightRecorder.Record(kind, name, pe, iter, dur)
+}
+
+// DumpFlight dumps the process-wide recorder; a no-op (returning "")
+// until SetDumpPath has armed a destination.
+func DumpFlight(reason string) (string, error) { return FlightRecorder.Dump(reason) }

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlightRingWraps(t *testing.T) {
+	f := NewFlight(4)
+	for i := 0; i < 10; i++ {
+		f.Record(FlightSpan, "phase", i, int64(i), time.Duration(i))
+	}
+	if f.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", f.Len())
+	}
+	events := f.Events()
+	if len(events) != 4 {
+		t.Fatalf("Events len = %d, want 4", len(events))
+	}
+	// The ring keeps the most recent four, oldest first.
+	for i, e := range events {
+		if want := 6 + i; e.PE != want {
+			t.Fatalf("event %d PE = %d, want %d", i, e.PE, want)
+		}
+		if e.Seq != uint64(7+i) {
+			t.Fatalf("event %d Seq = %d, want %d", i, e.Seq, 7+i)
+		}
+	}
+}
+
+func TestFlightPartialFill(t *testing.T) {
+	f := NewFlight(16)
+	f.Record(FlightFault, "fault.kill", 2, 5, 0)
+	f.Record(FlightRecovery, "recover.shrink", -1, 0, 0)
+	events := f.Events()
+	if len(events) != 2 {
+		t.Fatalf("Events len = %d, want 2", len(events))
+	}
+	if events[0].Kind != FlightFault || events[0].Name != "fault.kill" || events[0].PE != 2 {
+		t.Fatalf("unexpected first event: %+v", events[0])
+	}
+	if events[1].Kind != FlightRecovery || events[1].PE != -1 {
+		t.Fatalf("unexpected second event: %+v", events[1])
+	}
+	if events[0].T > events[1].T {
+		t.Fatal("timestamps should be monotonic")
+	}
+}
+
+func TestFlightNilSafe(t *testing.T) {
+	var f *Flight
+	f.Record(FlightSpan, "x", 0, 0, 0)
+	f.SetDumpPath("nope")
+	if f.Len() != 0 || f.Events() != nil || f.DumpPath() != "" {
+		t.Fatal("nil recorder should be inert")
+	}
+	if p, err := f.Dump("reason"); p != "" || err != nil {
+		t.Fatalf("nil Dump = %q, %v", p, err)
+	}
+}
+
+func TestFlightDumpDisabledByDefault(t *testing.T) {
+	f := NewFlight(8)
+	f.Record(FlightSpan, "x", 0, 0, 0)
+	if p, err := f.Dump("whatever"); p != "" || err != nil {
+		t.Fatalf("Dump without a path should be a no-op, got %q, %v", p, err)
+	}
+}
+
+func TestFlightDumpJSON(t *testing.T) {
+	f := NewFlight(8)
+	f.Record(FlightSpan, "par.smvp.compute", 1, 3, 42*time.Microsecond)
+	f.Record(FlightFault, "fault.panic", 1, 3, 0)
+	path := filepath.Join(t.TempDir(), "flight.trace.json")
+	f.SetDumpPath(path)
+	got, err := f.Dump("pe fault")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != path {
+		t.Fatalf("Dump returned %q, want %q", got, path)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Reason string `json:"reason"`
+		Events []struct {
+			Kind string  `json:"kind"`
+			Name string  `json:"name"`
+			PE   int     `json:"pe"`
+			Iter int64   `json:"iter"`
+			DUs  float64 `json:"dur_us"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(raw, &dump); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	if dump.Reason != "pe fault" {
+		t.Fatalf("reason = %q, want %q", dump.Reason, "pe fault")
+	}
+	if len(dump.Events) != 2 {
+		t.Fatalf("events = %d, want 2", len(dump.Events))
+	}
+	if dump.Events[0].Kind != "span" || dump.Events[0].Name != "par.smvp.compute" ||
+		dump.Events[0].DUs != 42 {
+		t.Fatalf("unexpected span event: %+v", dump.Events[0])
+	}
+	if dump.Events[1].Kind != "fault" || dump.Events[1].PE != 1 || dump.Events[1].Iter != 3 {
+		t.Fatalf("unexpected fault event: %+v", dump.Events[1])
+	}
+}
+
+func TestFlightWriteJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewFlight(4).WriteJSON(&buf, "empty"); err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Events []json.RawMessage `json:"events"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &dump); err != nil {
+		t.Fatal(err)
+	}
+	if len(dump.Events) != 0 {
+		t.Fatalf("empty recorder dumped %d events", len(dump.Events))
+	}
+}
+
+func TestFlightConcurrentRecord(t *testing.T) {
+	f := NewFlight(64)
+	var wg sync.WaitGroup
+	const workers = 8
+	wg.Add(workers + 1)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				f.Record(FlightSpan, "concurrent", w, int64(i), 0)
+			}
+		}(w)
+	}
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			_ = f.Events()
+			_ = f.Len()
+		}
+	}()
+	wg.Wait()
+	events := f.Events()
+	if len(events) != 64 {
+		t.Fatalf("final ring holds %d events, want 64", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq != events[i-1].Seq+1 {
+			t.Fatalf("sequence gap at %d: %d then %d", i, events[i-1].Seq, events[i].Seq)
+		}
+	}
+}
+
+func BenchmarkFlightRecord(b *testing.B) {
+	f := NewFlight(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Record(FlightSpan, "bench.span", i&7, int64(i), time.Microsecond)
+	}
+}

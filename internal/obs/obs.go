@@ -85,12 +85,14 @@ func (g *Gauge) Value() float64 {
 const histBuckets = 65
 
 // Histogram counts non-negative int64 observations in fixed
-// power-of-two buckets — a natural fit for message sizes in bytes and
-// per-PE block counts, which the paper characterizes by order of
-// magnitude. Safe for concurrent use.
+// power-of-two buckets — a natural fit for message sizes in bytes,
+// per-PE block counts, and phase durations in nanoseconds, all of
+// which the paper characterizes by order of magnitude. Safe for
+// concurrent use, lock-free, and allocation-free on the Observe path.
 type Histogram struct {
 	count   atomic.Int64
 	sum     atomic.Int64
+	max     atomic.Int64
 	buckets [histBuckets]atomic.Int64
 }
 
@@ -103,6 +105,12 @@ func (h *Histogram) Observe(v int64) {
 	h.count.Add(1)
 	h.sum.Add(v)
 	h.buckets[bucketOf(v)].Add(1)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
 }
 
 // Count returns the number of observations.
@@ -119,6 +127,15 @@ func (h *Histogram) Sum() int64 {
 		return 0
 	}
 	return h.sum.Load()
+}
+
+// Max returns the largest observed value (zero before any observation;
+// negative observations do not lower it).
+func (h *Histogram) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.max.Load()
 }
 
 func bucketOf(v int64) int {
@@ -139,7 +156,71 @@ type Bucket struct {
 type HistogramSnapshot struct {
 	Count   int64    `json:"count"`
 	Sum     int64    `json:"sum"`
+	Max     int64    `json:"max,omitempty"`
 	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Mean returns the arithmetic mean of the observations (0 when empty).
+func (hs HistogramSnapshot) Mean() float64 {
+	if hs.Count == 0 {
+		return 0
+	}
+	return float64(hs.Sum) / float64(hs.Count)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the power-of-two
+// buckets by linear interpolation inside the bucket holding the target
+// rank. The estimate is exact to within one octave — the resolution the
+// log₂ buckets buy for zero hot-path cost — and the top estimate is
+// clamped to the recorded Max, so Quantile(1) is exact.
+func (hs HistogramSnapshot) Quantile(q float64) float64 {
+	if hs.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(hs.Count)
+	var cum int64
+	for _, b := range hs.Buckets {
+		next := cum + b.Count
+		if float64(next) >= rank {
+			// Bucket [lo, hi) holds the rank; interpolate on position.
+			hi := float64(b.Le)
+			lo := hi / 2
+			if b.Le <= 1 {
+				lo = 0
+			}
+			frac := (rank - float64(cum)) / float64(b.Count)
+			v := lo + frac*(hi-lo)
+			if hs.Max > 0 && v > float64(hs.Max) {
+				v = float64(hs.Max)
+			}
+			return v
+		}
+		cum = next
+	}
+	return float64(hs.Max)
+}
+
+// Sub returns the histogram delta since prev: the observations recorded
+// between the two snapshots. Max is this snapshot's (a running maximum
+// cannot be differenced).
+func (hs HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{Count: hs.Count - prev.Count, Sum: hs.Sum - prev.Sum, Max: hs.Max}
+	old := make(map[uint64]int64, len(prev.Buckets))
+	for _, b := range prev.Buckets {
+		old[b.Le] = b.Count
+	}
+	for _, b := range hs.Buckets {
+		if n := b.Count - old[b.Le]; n != 0 {
+			out.Buckets = append(out.Buckets, Bucket{Le: b.Le, Count: n})
+		}
+	}
+	return out
 }
 
 // Registry holds named metrics. Metrics are created on first use and
@@ -150,6 +231,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	accums   map[string]*PEAccum
 }
 
 // NewRegistry returns an empty registry.
@@ -158,6 +240,7 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		accums:   make(map[string]*PEAccum),
 	}
 }
 
@@ -235,6 +318,7 @@ func (r *Registry) Reset() {
 	r.counters = make(map[string]*Counter)
 	r.gauges = make(map[string]*Gauge)
 	r.hists = make(map[string]*Histogram)
+	r.accums = make(map[string]*PEAccum)
 }
 
 // Snapshot is a point-in-time copy of a registry's metrics. Maps
@@ -243,6 +327,7 @@ type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Gauges     map[string]float64           `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	PEAccums   map[string]PEAccumSnapshot   `json:"pe_accums,omitempty"`
 }
 
 // Snapshot copies the registry's current state.
@@ -261,7 +346,7 @@ func (r *Registry) Snapshot() *Snapshot {
 		s.Gauges[name] = g.Value()
 	}
 	for name, h := range r.hists {
-		hs := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+		hs := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load(), Max: h.max.Load()}
 		for i := 0; i < histBuckets; i++ {
 			n := h.buckets[i].Load()
 			if n == 0 {
@@ -275,7 +360,42 @@ func (r *Registry) Snapshot() *Snapshot {
 		}
 		s.Histograms[name] = hs
 	}
+	if len(r.accums) > 0 {
+		s.PEAccums = make(map[string]PEAccumSnapshot, len(r.accums))
+		for name, a := range r.accums {
+			s.PEAccums[name] = a.Snapshot()
+		}
+	}
 	return s
+}
+
+// Sub returns the delta snapshot: counters, histograms, and per-PE
+// accumulators record what happened strictly between prev and s, which
+// is how a caller isolates one solve (or one iteration window) from a
+// long-lived process's cumulative registry. Gauges are last-value-wins
+// and keep s's values.
+func (s *Snapshot) Sub(prev *Snapshot) *Snapshot {
+	out := &Snapshot{
+		Counters:   make(map[string]int64, len(s.Counters)),
+		Gauges:     make(map[string]float64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for name, v := range s.Counters {
+		out.Counters[name] = v - prev.Counters[name]
+	}
+	for name, v := range s.Gauges {
+		out.Gauges[name] = v
+	}
+	for name, hs := range s.Histograms {
+		out.Histograms[name] = hs.Sub(prev.Histograms[name])
+	}
+	if len(s.PEAccums) > 0 {
+		out.PEAccums = make(map[string]PEAccumSnapshot, len(s.PEAccums))
+		for name, as := range s.PEAccums {
+			out.PEAccums[name] = as.Sub(prev.PEAccums[name])
+		}
+	}
+	return out
 }
 
 // WriteJSON writes the snapshot as indented JSON.

@@ -157,7 +157,9 @@ func (s *DistSim) Run(coords []geom.Vec3, cfg fem.SimConfig) (*DistSimResult, er
 		sp := obs.StartSpanPE("compute", "par.step.compute", pe)
 		t0 := time.Now()
 		d.K[pe].MulVec(ku[pe], u[pe])
-		computeAcc[pe] += time.Since(t0)
+		dc := time.Since(t0)
+		computeAcc[pe] += dc
+		rt.met.observeCompute(pe, iter, dc)
 		sp.End()
 
 		if fi != nil {
@@ -179,7 +181,8 @@ func (s *DistSim) Run(coords []geom.Vec3, cfg fem.SimConfig) (*DistSimResult, er
 			}
 			sent += bytesPerSharedNode * int64(len(locals))
 		}
-		exchangeAcc[pe] += time.Since(t0)
+		dpost := time.Since(t0)
+		exchangeAcc[pe] += dpost
 		rt.met.exchBytes[pe].Add(sent)
 		rt.met.exchMsgs.Add(int64(len(d.Shared[pe])))
 		sp.End()
@@ -210,8 +213,10 @@ func (s *DistSim) Run(coords []geom.Vec3, cfg fem.SimConfig) (*DistSimResult, er
 				recvd += bytesPerSharedNode * int64(len(locals))
 			}
 		}
-		exchangeAcc[pe] += time.Since(t0)
+		drecv := time.Since(t0)
+		exchangeAcc[pe] += drecv
 		rt.met.exchBytes[pe].Add(recvd)
+		rt.met.observeExchange(pe, iter, dpost+drecv)
 		sp.End()
 
 		// Update phase: identical on every replica; touches only this
@@ -257,7 +262,9 @@ func (s *DistSim) Run(coords []geom.Vec3, cfg fem.SimConfig) (*DistSimResult, er
 				u[pe][k] += cfg.Dt * v[pe][k]
 			}
 		}
-		updateAcc[pe] += time.Since(t0)
+		du := time.Since(t0)
+		updateAcc[pe] += du
+		rt.met.observeUpdate(pe, iter, du)
 		sp.End()
 	}
 

@@ -125,6 +125,8 @@ func (rt *peRuntime) overlappedPE(pe int) {
 	}
 	rt.tm.Compute[pe] = boundaryDur + interiorDur
 	rt.tm.Comm[pe] = postDur + recvDur
+	rt.met.observeCompute(pe, iter, rt.tm.Compute[pe])
+	rt.met.observeExchange(pe, iter, rt.tm.Comm[pe])
 }
 
 // BoundaryFraction returns, for each PE, the fraction of its local

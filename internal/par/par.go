@@ -70,6 +70,15 @@ type distMetrics struct {
 	// bytes gather-copied into staging (zero while aggregation is off).
 	aggFused       *obs.Counter
 	aggStagedBytes *obs.Counter
+	// Per-PE phase accumulators and merged duration histograms: the
+	// substrate obs/analyze reads for λ, stragglers, and Eq.(2) drift.
+	// One observation per PE per kernel invocation, in nanoseconds.
+	phaseCompute   *obs.PEAccum
+	phaseExchange  *obs.PEAccum
+	phaseUpdate    *obs.PEAccum
+	phaseComputeH  *obs.Histogram
+	phaseExchangeH *obs.Histogram
+	phaseUpdateH   *obs.Histogram
 }
 
 func newDistMetrics(p int) distMetrics {
@@ -80,11 +89,41 @@ func newDistMetrics(p int) distMetrics {
 		exchBytes:      make([]*obs.Counter, p),
 		aggFused:       obs.GetCounter("par.exchange.agg.fused_blocks"),
 		aggStagedBytes: obs.GetCounter("par.exchange.agg.staged_bytes"),
+		phaseCompute:   obs.GetPEAccum("par.phase.compute.ns", p),
+		phaseExchange:  obs.GetPEAccum("par.phase.exchange.ns", p),
+		phaseUpdate:    obs.GetPEAccum("par.phase.update.ns", p),
+		phaseComputeH:  obs.GetHistogram("par.phase.compute.hist_ns"),
+		phaseExchangeH: obs.GetHistogram("par.phase.exchange.hist_ns"),
+		phaseUpdateH:   obs.GetHistogram("par.phase.update.hist_ns"),
 	}
 	for i := 0; i < p; i++ {
 		m.exchBytes[i] = obs.GetCounter(fmt.Sprintf("par.exchange.bytes.pe%d", i))
 	}
 	return m
+}
+
+// Phase observation helpers: each records one PE's phase duration into
+// the per-PE accumulator (for λ/straggler/drift analysis), the merged
+// histogram (for percentiles), and the flight recorder ring (for
+// post-mortems). All three sinks are allocation-free, so these run on
+// the kernel hot path with TestSMVPZeroAlloc still at 0 allocs/op.
+
+func (m *distMetrics) observeCompute(pe int, iter int64, d time.Duration) {
+	m.phaseCompute.Observe(pe, int64(d))
+	m.phaseComputeH.Observe(int64(d))
+	obs.RecordFlight(obs.FlightSpan, "par.phase.compute", pe, iter, d)
+}
+
+func (m *distMetrics) observeExchange(pe int, iter int64, d time.Duration) {
+	m.phaseExchange.Observe(pe, int64(d))
+	m.phaseExchangeH.Observe(int64(d))
+	obs.RecordFlight(obs.FlightSpan, "par.phase.exchange", pe, iter, d)
+}
+
+func (m *distMetrics) observeUpdate(pe int, iter int64, d time.Duration) {
+	m.phaseUpdate.Observe(pe, int64(d))
+	m.phaseUpdateH.Observe(int64(d))
+	obs.RecordFlight(obs.FlightSpan, "par.phase.update", pe, iter, d)
 }
 
 // bytesPerSharedNode is the wire size of one shared node's partial sum:
@@ -332,6 +371,7 @@ func (rt *peRuntime) phasedPE(pe int) {
 	start := time.Now()
 	rt.k[pe].MulVec(ws.y, ws.x)
 	rt.tm.Compute[pe] = time.Since(start)
+	rt.met.observeCompute(pe, iter, rt.tm.Compute[pe])
 	sp.End()
 
 	if fi != nil {
@@ -411,6 +451,7 @@ func (rt *peRuntime) phasedPE(pe int) {
 	}
 	rt.tm.Comm[pe] += time.Since(start)
 	rt.met.exchBytes[pe].Add(recvd)
+	rt.met.observeExchange(pe, iter, rt.tm.Comm[pe])
 	sp.End()
 
 	// Gather phase: owners write their nodes' results.

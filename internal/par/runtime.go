@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/sparse"
 )
 
@@ -294,7 +295,9 @@ func (rt *peRuntime) runBody(pe int, body func(pe int)) {
 			rt.faultMu.Lock()
 			rt.faults = append(rt.faults, peFault{pe: pe, iter: rt.iter, val: r})
 			rt.faultMu.Unlock()
+			obs.RecordFlight(obs.FlightFault, "par.pe.panic", pe, rt.iter, 0)
 			rt.bar.poison()
+			obs.RecordFlight(obs.FlightFault, "par.barrier.poison", pe, rt.iter, 0)
 			rt.releaseReady(pe)
 		}
 	}()
@@ -331,6 +334,9 @@ func (rt *peRuntime) collectFaults() error {
 	f := faults[0]
 	err := &PEFaultError{PE: f.pe, Iter: f.iter, Val: f.val, Faults: len(faults)}
 	rt.poisoned = err
+	// The Dist is now permanently poisoned: dump the flight ring so the
+	// spans and fault events leading up to the failure survive it.
+	obs.DumpFlight("pe fault poisoned dist")
 	return err
 }
 

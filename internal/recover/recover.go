@@ -182,6 +182,10 @@ type Rebuilt struct {
 func Shrink(m *mesh.Mesh, mat *material.Model, pt *partition.Partition, dead int) (*Rebuilt, error) {
 	sp := obs.StartSpan(obs.TrackDriver, "recover", "recover.shrink")
 	obs.GetCounter("recover.shrinks").Add(1)
+	obs.RecordFlight(obs.FlightRecovery, "recover.shrink", dead, 0, 0)
+	// A shrink means a PE is confirmed dead — preserve the ring now, so
+	// the dump holds the final kernels of the full-width run.
+	obs.DumpFlight("shrink to survivors")
 	spt, err := ShrinkPartition(m, pt, dead)
 	if err != nil {
 		sp.End()

@@ -324,6 +324,7 @@ func CG(a Operator, b, x []float64, cfg Config) (*Result, error) {
 		rz = st.Rho
 		startIter = st.Iter
 		obs.GetCounter("solver.cg.resumes").Add(1)
+		obs.RecordFlight(obs.FlightSolver, "solver.cg.resume", -1, int64(st.Iter), 0)
 	} else {
 		if err := a.Apply(ap, x); err != nil {
 			return res, fmt.Errorf("solver: operator failed: %w", err)
@@ -383,6 +384,7 @@ func CG(a Operator, b, x []float64, cfg Config) (*Result, error) {
 	// to the SPD solution.
 	heal := func(reason string, trNow float64) error {
 		res.Detections++
+		obs.RecordFlight(obs.FlightSolver, "solver.cg.detect", -1, int64(res.Iterations), 0)
 		if res.Rollbacks+res.Restarts >= cfg.MaxRecoveries {
 			return fmt.Errorf("solver: fault persisted after %d recoveries (last detection: %s)", cfg.MaxRecoveries, reason)
 		}
@@ -393,12 +395,14 @@ func CG(a Operator, b, x []float64, cfg Config) (*Result, error) {
 			rz = ckRz
 			ckUsed = true
 			res.Rollbacks++
+			obs.RecordFlight(obs.FlightSolver, "solver.cg.rollback", -1, int64(res.Iterations), 0)
 			return nil
 		}
 		if !isFinite(trNow) || trNow > ckTr {
 			copy(x, ws.ckX)
 		}
 		res.Restarts++
+		obs.RecordFlight(obs.FlightSolver, "solver.cg.restart", -1, int64(res.Iterations), 0)
 		for i := range x {
 			if !isFinite(x[i]) {
 				x[i] = 0
