@@ -23,7 +23,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race . ./internal/fault/ ./internal/obs/... ./internal/par/ ./internal/recover/ ./internal/solver/ ./internal/spark/
+	$(GO) test -race . ./internal/fault/ ./internal/obs/... ./internal/par/ ./internal/recover/ ./internal/solver/ ./internal/sparse/ ./internal/spark/
 
 # The gate CI runs: build + vet + full tests (as a coverage run with a
 # floor), plus the race detector on the concurrency-heavy packages, plus
@@ -58,8 +58,13 @@ bench-json:
 # Executes each distributed-kernel benchmark once (no timing fidelity):
 # a fast gate that the parallel SMVP entry points still run, and that
 # the fault-injection hooks stay allocation-free on their hot path.
+# The second step is the kernel-regression guard: it times the fused
+# MulVecDot against the unfused SMVP+dot pair (enough iterations for a
+# stable number) and fails if fusion has stopped paying for itself
+# (`benchjson -guard`, 10% slack for timer noise).
 bench-smoke:
 	$(GO) test -run='^$$' -bench='ParallelSMVP|OverlappedSMVP|FaultHookOverhead' -benchtime=1x -benchmem .
+	$(GO) test -run='^$$' -bench='KernelGuard' -benchtime=50x . | $(GO) run ./cmd/benchjson -guard
 
 # Short mutation runs of the fuzz targets: the parsers that accept
 # untrusted input (the message-matrix schedule builder, the fault-plan

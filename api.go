@@ -311,7 +311,19 @@ var (
 	Fig9Table  = iq.Fig9Table
 	Fig10Table = iq.Fig10Table
 	Fig11Table = iq.Fig11Table
+	// MeasuredTfTable regenerates the Eq.(1)/(2) requirements at a
+	// measured per-flop time next to the paper-era baseline, showing how
+	// the required T_c and bandwidths shift with the real kernel speed.
+	MeasuredTfTable = iq.MeasuredTfTable
 )
+
+// TfShift quantifies how the Eq.(1)/(2) requirements move when the
+// assumed T_f is replaced by a measured one; build with ShiftTf.
+type TfShift = model.TfShift
+
+// ShiftTf evaluates the Eq.(1)/(2) requirements at a baseline and a
+// measured per-flop time and returns the shift.
+var ShiftTf = model.ShiftTf
 
 // Two-level (node-aware) exchange aggregation: same-node-pair messages
 // fuse into one inter-node block plus on-node gather/scatter copies,

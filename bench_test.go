@@ -25,6 +25,8 @@ import (
 	"repro/internal/comm"
 	"repro/internal/machine"
 	"repro/internal/model"
+	"repro/internal/obs"
+	obsanalyze "repro/internal/obs/analyze"
 	"repro/internal/partition"
 	iq "repro/internal/quake"
 	"repro/internal/report"
@@ -435,6 +437,127 @@ func BenchmarkAblationKernels(b *testing.B) {
 		}
 		b.ReportMetric(flops/(b.Elapsed().Seconds()/float64(b.N))/1e6, "MFLOPS")
 	})
+	b.Run("csr_seg", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			csr.MulVecSegmented(y, x)
+		}
+		b.ReportMetric(flops/(b.Elapsed().Seconds()/float64(b.N))/1e6, "MFLOPS")
+	})
+	// The fused kernel does strictly more work (the dot rides along), so
+	// comparing its ns/op against bcsr shows what the fusion costs — the
+	// win is the separate dot sweep it makes unnecessary.
+	b.Run("fused", func(b *testing.B) {
+		var d float64
+		for i := 0; i < b.N; i++ {
+			d = sys.K.MulVecDot(y, x)
+		}
+		_ = d
+		b.ReportMetric(flops/(b.Elapsed().Seconds()/float64(b.N))/1e6, "MFLOPS")
+	})
+}
+
+// BenchmarkKernelGuard is the regression gate behind `make bench-smoke`:
+// the unfused arm is the pre-fusion shape (SMVP sweep, then a separate
+// dot sweep over x and y), the fused arm is MulVecDot doing both in one
+// pass. `benchjson -guard` fails the build if fused comes out slower
+// than unfused beyond the slack — the fused path exists to win, and a
+// loss means someone broke it.
+func BenchmarkKernelGuard(b *testing.B) {
+	m, err := quake.SF5.Mesh()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := quake.Assemble(m, quake.SanFernando())
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, 3*m.NumNodes())
+	y := make([]float64, 3*m.NumNodes())
+	for i := range x {
+		x[i] = float64(i%9) * 0.25
+	}
+	b.Run("unfused", func(b *testing.B) {
+		var d float64
+		for i := 0; i < b.N; i++ {
+			sys.K.MulVec(y, x)
+			d = 0
+			for j := range x {
+				d += x[j] * y[j]
+			}
+		}
+		_ = d
+	})
+	b.Run("fused", func(b *testing.B) {
+		var d float64
+		for i := 0; i < b.N; i++ {
+			d = sys.K.MulVecDot(y, x)
+		}
+		_ = d
+	})
+}
+
+// BenchmarkMeasuredTfShift closes the measured-T_f feedback loop: it
+// runs the distributed SMVP under live telemetry, recovers the achieved
+// per-flop time from the phase accumulators (obs/analyze), and
+// regenerates the Eq.(1)/(2) requirements table at that measured T_f
+// next to the paper-era 5 ns (200 MFLOPS) baseline. The rendered table
+// (results/eq12_measured_tf.txt) is the PR's quantitative answer to
+// "how does a faster local kernel shift the required T_c".
+func BenchmarkMeasuredTfShift(b *testing.B) {
+	s := quake.SF5
+	m, err := s.Mesh()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pt, err := partition.PartitionMesh(m, 8, partition.RCB, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr, err := partition.Analyze(m, pt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dist, err := quake.NewDist(m, quake.SanFernando(), pt, pr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer dist.Close()
+	x := make([]float64, 3*m.NumNodes())
+	y := make([]float64, 3*m.NumNodes())
+	for i := range x {
+		x[i] = float64(i%7) * 0.5
+	}
+	prev := obs.Enabled()
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(prev)
+	if _, err := dist.SMVP(y, x); err != nil { // steady state before measuring
+		b.Fatal(err)
+	}
+	before := obs.Default.Snapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dist.SMVP(y, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	w, ok := obsanalyze.FromSnapshots(obs.Default.Snapshot(), before)
+	if !ok {
+		b.Fatal("no analysis window in telemetry delta")
+	}
+	app := model.AppProperties{F: pr.Fmax(), Cmax: pr.Cmax(), Bmax: pr.Bmax()}
+	ach := obsanalyze.AchievedOf(w, app)
+	if ach.Tf <= 0 {
+		b.Fatal("achieved Tf not recovered from telemetry")
+	}
+	const baseTf = 5e-9 // the paper's 200 MFLOPS machine
+	tab, err := quake.MeasuredTfTable(s, quake.PECounts, quake.RCB, baseTf, ach.Tf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	saveTable(b, "eq12_measured_tf", tab)
+	b.ReportMetric(ach.Tf*1e9, "measuredTf_ns")
+	b.ReportMetric(baseTf/ach.Tf, "speedupVsBase")
 }
 
 // BenchmarkAblationBisectionNetwork shows bisection bandwidth is not

@@ -28,8 +28,10 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -66,6 +68,36 @@ type Report struct {
 	// (quakerepro -metrics, or a saved /metrics.json) as latency
 	// percentiles, keyed by metric name.
 	Phases map[string]PhasePercentiles `json:"phase_percentiles,omitempty"`
+	// Kernels is the A/B view of the SMVP kernel variants and the
+	// fused-vs-unfused CG solves, keyed by short kernel name (csr, bcsr,
+	// sym, csr_seg, fused, cg_unfused, cg_fused). When a previous
+	// BENCH_*.json is available (-prev, or auto-discovered), each entry
+	// carries that snapshot's ns/op and the speedup against it, so a
+	// kernel regression is visible in the report itself, not only by
+	// diffing files.
+	Kernels map[string]KernelStat `json:"kernels,omitempty"`
+}
+
+// KernelStat is one kernel's A/B entry.
+type KernelStat struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	// PrevNsPerOp and SpeedupVsPrev compare against the previous
+	// snapshot; both are absent when no previous file carries the
+	// benchmark. SpeedupVsPrev > 1 means this run is faster.
+	PrevNsPerOp   float64 `json:"prev_ns_per_op,omitempty"`
+	SpeedupVsPrev float64 `json:"speedup_vs_prev,omitempty"`
+}
+
+// kernelBenchmarks maps benchmark names to the short kernel keys of the
+// report's kernels section.
+var kernelBenchmarks = map[string]string{
+	"BenchmarkAblationKernels/csr":     "csr",
+	"BenchmarkAblationKernels/bcsr":    "bcsr",
+	"BenchmarkAblationKernels/sym":     "sym",
+	"BenchmarkAblationKernels/csr_seg": "csr_seg",
+	"BenchmarkAblationKernels/fused":   "fused",
+	"BenchmarkDistCGSolve":             "cg_unfused",
+	"BenchmarkDistCGSolveFused":        "cg_fused",
 }
 
 // Overhead is one enabled-vs-disabled benchmark pair.
@@ -99,15 +131,59 @@ func main() {
 	in := flag.String("in", "", "input file (default: stdin)")
 	out := flag.String("out", "", "output JSON file (default: stdout)")
 	metrics := flag.String("metrics", "", "telemetry snapshot JSON to fold in as phase percentiles")
+	prev := flag.String("prev", "", "previous BENCH_*.json for kernel speedup deltas (default: newest BENCH_*.json in cwd, excluding -out)")
+	guard := flag.Bool("guard", false, "guard mode: read BenchmarkKernelGuard/{unfused,fused} results and fail when fused is slower than unfused beyond -slack")
+	slack := flag.Float64("slack", 1.10, "guard tolerance: fused must stay below unfused × slack")
 	flag.Parse()
 
-	if err := run(*in, *out, *metrics); err != nil {
+	if *guard {
+		if err := runGuard(*in, *slack); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*in, *out, *metrics, *prev); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(inPath, outPath, metricsPath string) error {
+// runGuard is the kernel-regression gate (`make bench-smoke`): the
+// fused kernel exists to be faster than separate passes, so a run where
+// it comes out slower than the unfused baseline beyond the slack is a
+// regression and fails the build.
+func runGuard(inPath string, slack float64) error {
+	var r io.Reader = os.Stdin
+	if inPath != "" {
+		f, err := os.Open(inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	rep, err := parse(r)
+	if err != nil {
+		return err
+	}
+	unfused, ok := rep.NsPerOp["BenchmarkKernelGuard/unfused"]
+	if !ok {
+		return fmt.Errorf("guard: BenchmarkKernelGuard/unfused not found in input")
+	}
+	fused, ok := rep.NsPerOp["BenchmarkKernelGuard/fused"]
+	if !ok {
+		return fmt.Errorf("guard: BenchmarkKernelGuard/fused not found in input")
+	}
+	if fused > unfused*slack {
+		return fmt.Errorf("guard: fused kernel regressed: %.0f ns/op vs unfused %.0f ns/op (limit %.0f = unfused × %.2f)",
+			fused, unfused, unfused*slack, slack)
+	}
+	fmt.Printf("kernel guard ok: fused %.0f ns/op ≤ unfused %.0f ns/op × %.2f\n", fused, unfused, slack)
+	return nil
+}
+
+func run(inPath, outPath, metricsPath, prevPath string) error {
 	var r io.Reader = os.Stdin
 	if inPath != "" {
 		f, err := os.Open(inPath)
@@ -130,6 +206,7 @@ func run(inPath, outPath, metricsPath string) error {
 			return fmt.Errorf("-metrics: %w", err)
 		}
 	}
+	rep.Kernels = kernelStats(rep.NsPerOp, prevPath, outPath)
 	var w io.Writer = os.Stdout
 	if outPath != "" {
 		f, err := os.Create(outPath)
@@ -217,6 +294,75 @@ func obsOverhead(ns map[string]float64) map[string]Overhead {
 		return nil
 	}
 	return out
+}
+
+// kernelStats extracts the kernel A/B section from the parsed ns/op
+// map and, when a previous snapshot is available, attaches the
+// speedup-vs-previous deltas. prevPath == "" auto-discovers the newest
+// BENCH_*.json in the working directory (skipping the file being
+// written, so a same-day rerun compares against the real predecessor).
+// A missing or unreadable previous file degrades to current-only
+// entries — the section must never block writing a fresh snapshot.
+func kernelStats(ns map[string]float64, prevPath, outPath string) map[string]KernelStat {
+	out := make(map[string]KernelStat)
+	for bench, key := range kernelBenchmarks {
+		v, ok := ns[bench]
+		if !ok {
+			continue
+		}
+		out[key] = KernelStat{NsPerOp: v}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	prevNs := loadPrevNs(prevPath, outPath)
+	if prevNs != nil {
+		for bench, key := range kernelBenchmarks {
+			st, ok := out[key]
+			if !ok {
+				continue
+			}
+			if pv, ok := prevNs[bench]; ok && pv > 0 {
+				st.PrevNsPerOp = pv
+				st.SpeedupVsPrev = pv / st.NsPerOp
+				out[key] = st
+			}
+		}
+	}
+	return out
+}
+
+// loadPrevNs resolves and reads the previous snapshot's ns_per_op map,
+// returning nil when there is none.
+func loadPrevNs(prevPath, outPath string) map[string]float64 {
+	if prevPath == "" {
+		matches, err := filepath.Glob("BENCH_*.json")
+		if err != nil {
+			return nil
+		}
+		sort.Strings(matches) // BENCH_YYYY-MM-DD.json: lexical order is date order
+		for i := len(matches) - 1; i >= 0; i-- {
+			if outPath != "" && filepath.Clean(matches[i]) == filepath.Clean(outPath) {
+				continue
+			}
+			prevPath = matches[i]
+			break
+		}
+		if prevPath == "" {
+			return nil
+		}
+	}
+	raw, err := os.ReadFile(prevPath)
+	if err != nil {
+		return nil
+	}
+	var prev struct {
+		NsPerOp map[string]float64 `json:"ns_per_op"`
+	}
+	if err := json.Unmarshal(raw, &prev); err != nil {
+		return nil
+	}
+	return prev.NsPerOp
 }
 
 // phasePercentiles reads a telemetry snapshot and summarizes every

@@ -105,7 +105,7 @@ func TestRunEndToEnd(t *testing.T) {
 	if err := os.WriteFile(in, []byte(sampleOutput), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(in, out, ""); err != nil {
+	if err := run(in, out, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -169,7 +169,7 @@ func TestPhasePercentiles(t *testing.T) {
 	if err := os.WriteFile(in, []byte(sampleOutput), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(in, out, snap); err != nil {
+	if err := run(in, out, snap, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -197,8 +197,139 @@ func TestPhasePercentiles(t *testing.T) {
 	if err := os.WriteFile(empty, []byte(`{"counters":{},"gauges":{},"histograms":{}}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(in, out, empty); err == nil {
+	if err := run(in, out, empty, ""); err == nil {
 		t.Error("want error for a snapshot with no histogram observations")
+	}
+}
+
+// kernelOutput carries the ablation sub-benchmarks and both CG solves,
+// the full population of the report's kernels section.
+const kernelOutput = `BenchmarkAblationKernels/csr-8 	 200 	 5000 ns/op
+BenchmarkAblationKernels/bcsr-8 	 200 	 2400 ns/op
+BenchmarkAblationKernels/sym-8 	 200 	 1600 ns/op
+BenchmarkAblationKernels/csr_seg-8 	 200 	 4800 ns/op
+BenchmarkAblationKernels/fused-8 	 200 	 2000 ns/op
+BenchmarkDistCGSolve-8 	 10 	 40000000 ns/op
+BenchmarkDistCGSolveFused-8 	 10 	 30000000 ns/op
+`
+
+// TestKernelsSection: the kernel benchmarks fold into the kernels map
+// under their short keys, and a -prev snapshot attaches speedup deltas.
+func TestKernelsSection(t *testing.T) {
+	dir := t.TempDir()
+	prev := filepath.Join(dir, "BENCH_2026-08-05.json")
+	prevRep := map[string]any{"ns_per_op": map[string]float64{
+		"BenchmarkAblationKernels/csr": 6000,
+		"BenchmarkDistCGSolve":         44000000,
+	}}
+	raw, _ := json.Marshal(prevRep)
+	if err := os.WriteFile(prev, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in := filepath.Join(dir, "bench.txt")
+	out := filepath.Join(dir, "bench.json")
+	if err := os.WriteFile(in, []byte(kernelOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(in, out, "", prev); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"csr", "bcsr", "sym", "csr_seg", "fused", "cg_unfused", "cg_fused"} {
+		if _, ok := rep.Kernels[key]; !ok {
+			t.Errorf("kernels section missing %q: %+v", key, rep.Kernels)
+		}
+	}
+	csr := rep.Kernels["csr"]
+	if csr.NsPerOp != 5000 || csr.PrevNsPerOp != 6000 || csr.SpeedupVsPrev != 1.2 {
+		t.Errorf("csr = %+v, want {5000 6000 1.2}", csr)
+	}
+	// No entry in the previous snapshot → current-only, no phantom deltas.
+	if f := rep.Kernels["fused"]; f.PrevNsPerOp != 0 || f.SpeedupVsPrev != 0 {
+		t.Errorf("fused should have no prev delta, got %+v", f)
+	}
+	if cg := rep.Kernels["cg_unfused"]; cg.SpeedupVsPrev != 1.1 {
+		t.Errorf("cg_unfused speedup = %v, want 1.1", cg.SpeedupVsPrev)
+	}
+}
+
+// TestKernelsPrevAutoDiscovery: with no -prev, the newest BENCH_*.json
+// in the cwd is used — skipping the file being written, so a same-day
+// rerun still compares against the real predecessor.
+func TestKernelsPrevAutoDiscovery(t *testing.T) {
+	dir := t.TempDir()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(cwd)
+
+	older := map[string]any{"ns_per_op": map[string]float64{"BenchmarkAblationKernels/csr": 10000}}
+	raw, _ := json.Marshal(older)
+	if err := os.WriteFile("BENCH_2026-08-01.json", raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The out file already exists (rerun): it must not be chosen as prev.
+	if err := os.WriteFile("BENCH_2026-08-08.json", []byte(`{"ns_per_op":{"BenchmarkAblationKernels/csr":1}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("bench.txt", []byte(kernelOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("bench.txt", "BENCH_2026-08-08.json", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile("BENCH_2026-08-08.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if csr := rep.Kernels["csr"]; csr.PrevNsPerOp != 10000 || csr.SpeedupVsPrev != 2 {
+		t.Errorf("auto-discovered prev wrong: %+v, want prev=10000 speedup=2", csr)
+	}
+}
+
+// TestRunGuard: the -guard gate passes when fused is at or under
+// unfused × slack and fails when it regresses past it (or when the
+// guard benchmarks are missing entirely).
+func TestRunGuard(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	ok := write("ok.txt", "BenchmarkKernelGuard/unfused-8 \t 100 \t 3000 ns/op\nBenchmarkKernelGuard/fused-8 \t 100 \t 2500 ns/op\n")
+	if err := runGuard(ok, 1.10); err != nil {
+		t.Errorf("guard failed on a faster fused kernel: %v", err)
+	}
+	slow := write("slow.txt", "BenchmarkKernelGuard/unfused-8 \t 100 \t 3000 ns/op\nBenchmarkKernelGuard/fused-8 \t 100 \t 3500 ns/op\n")
+	if err := runGuard(slow, 1.10); err == nil {
+		t.Error("guard passed a fused kernel 1.17x slower than unfused")
+	}
+	// Within slack: slightly slower fused is tolerated (timer noise on a
+	// loaded CI box), the gate is for real regressions.
+	if err := runGuard(slow, 1.20); err != nil {
+		t.Errorf("guard failed within slack: %v", err)
+	}
+	missing := write("missing.txt", "BenchmarkKernelGuard/unfused-8 \t 100 \t 3000 ns/op\n")
+	if err := runGuard(missing, 1.10); err == nil {
+		t.Error("guard passed with the fused benchmark missing")
 	}
 }
 
@@ -208,7 +339,7 @@ func TestRunNoResults(t *testing.T) {
 	if err := os.WriteFile(in, []byte("PASS\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(in, filepath.Join(dir, "out.json"), ""); err == nil {
+	if err := run(in, filepath.Join(dir, "out.json"), "", ""); err == nil {
 		t.Fatal("want error on input with no benchmark lines")
 	}
 }

@@ -1,0 +1,77 @@
+package model
+
+import "fmt"
+
+// This file closes the measured-T_f feedback loop: the paper evaluates
+// Equations (1) and (2) at assumed per-flop times (100 and 200 MFLOPS,
+// i.e. T_f of 10 and 5 ns), but the harness *measures* the achieved
+// T_f of its own local kernel (obs/analyze.AchievedOf). A faster local
+// kernel lowers T_f, and because Equation (1) is linear in T_f —
+//
+//	T_c = (F/C_max) · ((1−E)/E) · T_f
+//
+// — every communication budget tightens by exactly the kernel speedup:
+// required T_c scales down, required per-PE bandwidth scales up, and
+// the half-bandwidth design point moves proportionally. This is the
+// paper's own sensitivity argument (Section 4.3, "faster processors
+// need faster networks") made quantitative against the harness's real
+// kernels instead of the 1998-era assumption.
+
+// TfShift reports how the Equation (1)/(2) requirements move when the
+// assumed per-flop time is replaced by a measured one, for a single
+// (application, efficiency) point.
+type TfShift struct {
+	// BaseTf and MeasuredTf are the two per-flop times being compared
+	// (seconds per flop). Speedup = BaseTf/MeasuredTf: > 1 means the
+	// measured kernel is faster than the baseline assumption.
+	BaseTf, MeasuredTf float64
+	Speedup            float64
+	// BaseTc and MeasuredTc are the Equation (1) required amortized
+	// per-word times at each T_f. MeasuredTc = BaseTc/Speedup.
+	BaseTc, MeasuredTc float64
+	// BaseBW and MeasuredBW are the sustained per-PE bandwidths 1/T_c
+	// implied by each requirement, in bytes/second.
+	BaseBW, MeasuredBW float64
+	// Half-bandwidth design point (Section 4.4) at each T_f: burst
+	// bandwidth in bytes/second and block latency in seconds.
+	BaseHalfBW, MeasuredHalfBW   float64
+	BaseHalfLat, MeasuredHalfLat float64
+}
+
+// ShiftTf evaluates the Equation (1)/(2) requirements at baseTf and
+// measuredTf and returns the shift. It panics where RequiredTc
+// does (invalid E or non-positive T_f, Cmax, or Bmax).
+func ShiftTf(app AppProperties, E, baseTf, measuredTf float64) TfShift {
+	s := TfShift{
+		BaseTf:     baseTf,
+		MeasuredTf: measuredTf,
+		Speedup:    baseTf / measuredTf,
+		BaseTc:     RequiredTc(app, E, baseTf),
+		MeasuredTc: RequiredTc(app, E, measuredTf),
+	}
+	s.BaseBW = BytesPerWord / s.BaseTc
+	s.MeasuredBW = BytesPerWord / s.MeasuredTc
+	s.BaseHalfBW, s.BaseHalfLat = HalfBandwidthPoint(app, E, baseTf)
+	s.MeasuredHalfBW, s.MeasuredHalfLat = HalfBandwidthPoint(app, E, measuredTf)
+	return s
+}
+
+// String renders the shift compactly for logs and reports.
+func (s TfShift) String() string {
+	return fmt.Sprintf("Tf %s → %s (%.2f×): required Tc %s → %s, per-PE BW %.1f → %.1f MB/s",
+		fmtSec(s.BaseTf), fmtSec(s.MeasuredTf), s.Speedup,
+		fmtSec(s.BaseTc), fmtSec(s.MeasuredTc), MBps(s.BaseBW), MBps(s.MeasuredBW))
+}
+
+func fmtSec(v float64) string {
+	switch {
+	case v <= 0:
+		return fmt.Sprintf("%g s", v)
+	case v < 1e-6:
+		return fmt.Sprintf("%.2f ns", v*1e9)
+	case v < 1e-3:
+		return fmt.Sprintf("%.2f µs", v*1e6)
+	default:
+		return fmt.Sprintf("%.2f ms", v*1e3)
+	}
+}

@@ -1,0 +1,55 @@
+package model
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestShiftTfLinear pins the linearity that makes the measured-T_f
+// feedback meaningful: required T_c scales by exactly 1/speedup, the
+// required bandwidth and the half-bandwidth point by speedup, and the
+// half-latency by 1/speedup.
+func TestShiftTfLinear(t *testing.T) {
+	app := AppProperties{F: 3_000_000, Cmax: 20_000, Bmax: 16}
+	const e = 0.8
+	base, measured := 5e-9, 2e-9
+	s := ShiftTf(app, e, base, measured)
+
+	if got, want := s.Speedup, base/measured; math.Abs(got-want) > 1e-15 {
+		t.Errorf("Speedup = %g, want %g", got, want)
+	}
+	if got, want := s.BaseTc, RequiredTc(app, e, base); got != want {
+		t.Errorf("BaseTc = %g, want %g", got, want)
+	}
+	if got, want := s.MeasuredTc, RequiredTc(app, e, measured); got != want {
+		t.Errorf("MeasuredTc = %g, want %g", got, want)
+	}
+	if ratio := s.BaseTc / s.MeasuredTc; math.Abs(ratio-s.Speedup) > 1e-12*s.Speedup {
+		t.Errorf("Tc ratio %g, speedup %g", ratio, s.Speedup)
+	}
+	if ratio := s.MeasuredBW / s.BaseBW; math.Abs(ratio-s.Speedup) > 1e-12*s.Speedup {
+		t.Errorf("BW ratio %g, speedup %g", ratio, s.Speedup)
+	}
+	if ratio := s.MeasuredHalfBW / s.BaseHalfBW; math.Abs(ratio-s.Speedup) > 1e-12*s.Speedup {
+		t.Errorf("half-BW ratio %g, speedup %g", ratio, s.Speedup)
+	}
+	if ratio := s.BaseHalfLat / s.MeasuredHalfLat; math.Abs(ratio-s.Speedup) > 1e-12*s.Speedup {
+		t.Errorf("half-latency ratio %g, speedup %g", ratio, s.Speedup)
+	}
+	// Cross-check against the standalone helpers.
+	if got, want := s.MeasuredBW, RequiredBandwidth(app, e, measured); math.Abs(got-want) > 1e-9 {
+		t.Errorf("MeasuredBW = %g, RequiredBandwidth = %g", got, want)
+	}
+}
+
+func TestShiftTfString(t *testing.T) {
+	app := AppProperties{F: 3_000_000, Cmax: 20_000, Bmax: 16}
+	s := ShiftTf(app, 0.8, 5e-9, 2.5e-9)
+	out := s.String()
+	for _, frag := range []string{"2.00×", "required Tc", "MB/s"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("String() = %q, missing %q", out, frag)
+		}
+	}
+}

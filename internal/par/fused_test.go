@@ -1,0 +1,202 @@
+package par
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/obs"
+	"repro/internal/partition"
+	"repro/internal/solver"
+)
+
+// TestSMVPDotMatchesSMVP pins the fused distributed kernel's contract:
+// y is bit-identical to the plain SMVP (the fused dot only adds reads),
+// under the flat exchange and every aggregation size, and the dot
+// matches a sequential dot over the finished vectors to rounding. The
+// dot itself must also be identical across exchange schedules — the
+// partial-per-owner grouping does not depend on how messages travel.
+func TestSMVPDotMatchesSMVP(t *testing.T) {
+	f := newFixture(t)
+	d, _ := f.dist(t, 6, partition.RCB)
+	n3 := 3 * d.GlobalNodes
+	rng := rand.New(rand.NewSource(19))
+	x := make([]float64, n3)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := make([]float64, n3)
+	if _, err := d.SMVP(want, x); err != nil {
+		t.Fatal(err)
+	}
+	var seq, scale float64
+	for i := range x {
+		seq += x[i] * want[i]
+		scale += math.Abs(x[i] * want[i])
+	}
+
+	var flatDot float64
+	for _, size := range []int{0, 1, 2, 3, 6} { // 0 = flat exchange
+		if size > 0 {
+			if err := d.SetAggregation(comm.ContiguousNodes(size)); err != nil {
+				t.Fatal(err)
+			}
+			defer func() {
+				if err := d.SetAggregation(nil); err != nil {
+					t.Fatal(err)
+				}
+			}()
+		}
+		y := make([]float64, n3)
+		dot, _, err := d.SMVPDot(y, x)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		for i := range y {
+			if math.Float64bits(y[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("size %d: y[%d] = %x, SMVP %x", size, i,
+					math.Float64bits(y[i]), math.Float64bits(want[i]))
+			}
+		}
+		if math.Abs(dot-seq) > 1e-12*(1+scale) {
+			t.Fatalf("size %d: fused dot %g, sequential %g", size, dot, seq)
+		}
+		if size == 0 {
+			flatDot = dot
+		} else if math.Float64bits(dot) != math.Float64bits(flatDot) {
+			t.Fatalf("size %d: aggregated dot %x, flat %x", size,
+				math.Float64bits(dot), math.Float64bits(flatDot))
+		}
+		// Deterministic: a repeat invocation reproduces the dot exactly.
+		again, _, err := d.SMVPDot(y, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(again) != math.Float64bits(dot) {
+			t.Fatalf("size %d: repeat dot %x, first %x", size,
+				math.Float64bits(again), math.Float64bits(dot))
+		}
+	}
+}
+
+// TestFusedZeroAlloc extends the runtime's steady-state guarantee to
+// the fused kernel: the per-PE dot slots are preallocated and the
+// coordinator reduction is a plain loop, so SMVPDot performs zero heap
+// allocations per op, metrics off and on, flat and aggregated.
+func TestFusedZeroAlloc(t *testing.T) {
+	f := newFixture(t)
+	d, _ := f.dist(t, 4, partition.RCB)
+	x := make([]float64, 3*d.GlobalNodes)
+	y := make([]float64, 3*d.GlobalNodes)
+	for i := range x {
+		x[i] = float64(i%5) * 0.5
+	}
+	run := func() {
+		if _, _, err := d.SMVPDot(y, x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, aggregated := range []bool{false, true} {
+		if aggregated {
+			if err := d.SetAggregation(comm.ContiguousNodes(2)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, metrics := range []bool{false, true} {
+			prev := obs.Enabled()
+			obs.SetEnabled(metrics)
+			run() // steady state: buffers and goroutines already live
+			if avg := testing.AllocsPerRun(10, run); avg != 0 {
+				t.Errorf("SMVPDot (agg=%v, metrics=%v): %.1f allocs/op, want 0", aggregated, metrics, avg)
+			}
+			obs.SetEnabled(prev)
+		}
+	}
+}
+
+// TestFusedDistCGMatchesUnfused is the end-to-end property test: a
+// fused CG solve on the distributed operator reproduces the unfused
+// solve to solve tolerance, on the flat and the aggregated exchange
+// schedule. (Bit identity is not expected here — the fused dot groups
+// terms by owning PE.)
+func TestFusedDistCGMatchesUnfused(t *testing.T) {
+	f := newFixture(t)
+	for _, size := range []int{0, 2} {
+		d, _ := f.dist(t, 8, partition.RCB)
+		if size > 0 {
+			if err := d.SetAggregation(comm.ContiguousNodes(size)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		op := Operator{D: d, Shift: 20, MassNode: f.sys.MassNode}
+		n := op.Dim()
+		rng := rand.New(rand.NewSource(31))
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		xu := make([]float64, n)
+		ru, err := solver.CG(op, b, xu, solver.Config{MaxIter: 2 * n, Tol: 1e-9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		xf := make([]float64, n)
+		rf, err := solver.CG(op, b, xf, solver.Config{MaxIter: 2 * n, Tol: 1e-9, Fused: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ru.Converged || !rf.Converged {
+			t.Fatalf("size %d: convergence unfused %v, fused %v", size, ru.Converged, rf.Converged)
+		}
+		if d := ru.Iterations - rf.Iterations; d < -3 || d > 3 {
+			t.Errorf("size %d: iteration counts far apart: unfused %d, fused %d", size, ru.Iterations, rf.Iterations)
+		}
+		for i := range xu {
+			if math.Abs(xu[i]-xf[i]) > 1e-6*(1+math.Abs(xu[i])) {
+				t.Fatalf("size %d: x[%d]: unfused %g, fused %g", size, i, xu[i], xf[i])
+			}
+		}
+	}
+}
+
+// TestFusedDistCGHealing: the fused path composes with self-healing —
+// audits and convergence certification use ap as scratch, never z, so
+// the fused iteration's precomputed (z, ρ) survive them.
+func TestFusedDistCGHealing(t *testing.T) {
+	f := newFixture(t)
+	d, _ := f.dist(t, 4, partition.RCB)
+	op := Operator{D: d, Shift: 20, MassNode: f.sys.MassNode}
+	n := op.Dim()
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = math.Sin(float64(i) * 0.29)
+	}
+	x := make([]float64, n)
+	res, err := solver.CG(op, b, x, solver.Config{MaxIter: 2 * n, Tol: 1e-8, Fused: true, CheckEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("fused healing solve did not converge: %d iters, residual %g", res.Iterations, res.Residual)
+	}
+	if res.Detections != 0 {
+		t.Errorf("healthy fused solve reported %d detections", res.Detections)
+	}
+}
+
+// TestSMVPDotErrors: dimension checks and the closed-Dist path mirror
+// SMVP's error contract.
+func TestSMVPDotErrors(t *testing.T) {
+	f := newFixture(t)
+	d, _ := f.dist(t, 2, partition.RCB)
+	if _, _, err := d.SMVPDot(make([]float64, 3), make([]float64, 3*d.GlobalNodes)); err == nil {
+		t.Error("short y accepted")
+	}
+	y := make([]float64, 3*d.GlobalNodes)
+	x := make([]float64, 3*d.GlobalNodes)
+	d.Close()
+	if _, _, err := d.SMVPDot(y, x); err == nil {
+		t.Error("SMVPDot on closed Dist succeeded")
+	}
+}

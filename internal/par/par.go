@@ -63,6 +63,7 @@ type Dist struct {
 // sent and received by the PE, i.e. 8·C[i] per SMVP invocation.
 type distMetrics struct {
 	smvps     *obs.Counter
+	fusedSmvp *obs.Counter
 	exchMsgs  *obs.Counter
 	msgBytes  *obs.Histogram
 	exchBytes []*obs.Counter
@@ -84,6 +85,7 @@ type distMetrics struct {
 func newDistMetrics(p int) distMetrics {
 	m := distMetrics{
 		smvps:          obs.GetCounter("par.smvp.calls"),
+		fusedSmvp:      obs.GetCounter("par.smvp.fused_calls"),
 		exchMsgs:       obs.GetCounter("par.exchange.msgs"),
 		msgBytes:       obs.GetHistogram("par.exchange.msg_bytes"),
 		exchBytes:      make([]*obs.Counter, p),
@@ -349,6 +351,26 @@ func (d *Dist) SMVP(y, x []float64) (*Timing, error) {
 	return d.rt.runKernel(d.rt.phasedBody, y, x)
 }
 
+// SMVPDot is the fused distributed kernel: y = K·x and the global dot
+// x·y in one pass over the runtime. It runs the same phased body as
+// SMVP — y is bit-identical to a plain SMVP, flat or aggregated — with
+// the fused dot armed: each PE accumulates x·y over its owned nodes
+// during the gather phase into a preallocated padded slot, and the
+// coordinator sums the partials in ascending PE order. The reduction
+// is deterministic for a given partition but groups terms by PE, so
+// the dot agrees with a sequential dot(x, y) to rounding, not bit for
+// bit. Steady-state cost matches SMVP: zero allocations, zero
+// goroutine spawns, one extra multiply-add per owned scalar.
+func (d *Dist) SMVPDot(y, x []float64) (float64, *Timing, error) {
+	if len(x) != 3*d.GlobalNodes || len(y) != 3*d.GlobalNodes {
+		return 0, nil, fmt.Errorf("par: SMVPDot needs vectors of length %d, got %d/%d",
+			3*d.GlobalNodes, len(x), len(y))
+	}
+	d.rt.met.smvps.Add(1)
+	d.rt.met.fusedSmvp.Add(1)
+	return d.rt.runKernelDot(d.rt.phasedBody, y, x)
+}
+
 // phasedPE is the per-PE body of the phased SMVP: scatter and local
 // multiply, post partial sums into the PE's own send buffers, cross the
 // phase barrier (the synchronization point separating the computation
@@ -362,6 +384,7 @@ func (rt *peRuntime) phasedPE(pe int) {
 	x, y := rt.x, rt.y
 	fi, iter := rt.fi, rt.iter
 	agg := rt.agg
+	fdot := rt.fusedDot
 	for l, g := range nodes {
 		copy(ws.x[3*l:3*l+3], x[3*g:3*g+3])
 	}
@@ -454,7 +477,29 @@ func (rt *peRuntime) phasedPE(pe int) {
 	rt.met.observeExchange(pe, iter, rt.tm.Comm[pe])
 	sp.End()
 
-	// Gather phase: owners write their nodes' results.
+	// Gather phase: owners write their nodes' results. With the fused
+	// dot armed, the same loop folds this PE's share of x·y — the dot
+	// over its owned nodes, every term formed from values already in
+	// registers — into the PE's padded slot. The y written back is the
+	// same either way, so a fused kernel's output is bit-identical to
+	// the plain SMVP's.
+	if fdot {
+		var d float64
+		for l, g := range nodes {
+			if rt.owner[g] != int32(pe) {
+				continue
+			}
+			y0, y1, y2 := ws.y[3*l], ws.y[3*l+1], ws.y[3*l+2]
+			y[3*g] = y0
+			y[3*g+1] = y1
+			y[3*g+2] = y2
+			d += ws.x[3*l] * y0
+			d += ws.x[3*l+1] * y1
+			d += ws.x[3*l+2] * y2
+		}
+		rt.dotSlots[pe*dotStride] = d
+		return
+	}
 	for l, g := range nodes {
 		if rt.owner[g] != int32(pe) {
 			continue
@@ -535,6 +580,32 @@ func (o Operator) Apply(y, x []float64) error {
 		}
 	}
 	return nil
+}
+
+// ApplyDot implements solver.FusedOperator: the distributed SMVP and
+// the global dot x·y come out of one kernel dispatch, saving the full
+// extra sweep over the global vectors (and, on a real machine, one of
+// CG's two allreduces per iteration). The mass shift folds its own
+// contribution into both y and the dot, like solver.Shifted.ApplyDot.
+// The fused dot groups terms by owning PE, so it matches a sequential
+// dot to rounding rather than bit for bit — fused distributed CG is
+// certified against unfused CG at solve tolerance.
+func (o Operator) ApplyDot(y, x []float64) (float64, error) {
+	d, _, err := o.D.SMVPDot(y, x)
+	if err != nil {
+		return 0, err
+	}
+	if o.Shift > 0 {
+		for i, m := range o.MassNode {
+			f := o.Shift * m
+			x0, x1, x2 := x[3*i], x[3*i+1], x[3*i+2]
+			y[3*i] += f * x0
+			y[3*i+1] += f * x1
+			y[3*i+2] += f * x2
+			d += f * (x0*x0 + x1*x1 + x2*x2)
+		}
+	}
+	return d, nil
 }
 
 // Dim implements solver.Operator.

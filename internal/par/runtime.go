@@ -183,6 +183,16 @@ type peRuntime struct {
 	x, y []float64
 	tm   Timing
 
+	// fusedDot arms the phased body's fused dot accumulation for the
+	// in-flight kernel: each PE folds x·y over its owned nodes into its
+	// dotSlots entry during the gather phase. Written under the dispatch
+	// mutex, read by PEs between the barriers — same discipline as x/y.
+	fusedDot bool
+	// dotSlots holds one partial dot per PE at stride dotStride (a full
+	// cache line), so concurrent PE writes never share a line.
+	// Preallocated: the fused kernel stays at zero allocations per call.
+	dotSlots []float64
+
 	// Kernel bodies, bound once so dispatching allocates nothing.
 	phasedBody  func(pe int)
 	overlapBody func(pe int)
@@ -233,6 +243,7 @@ func newPERuntime(d *Dist) *peRuntime {
 		interior:  d.Interior,
 		met:       newDistMetrics(d.P),
 		ws:        make([]peWorkspace, d.P),
+		dotSlots:  make([]float64, d.P*dotStride),
 		start:     newBarrier(d.P + 1),
 		done:      newBarrier(d.P + 1),
 		bar:       newBarrier(d.P),
@@ -381,6 +392,42 @@ func (rt *peRuntime) runKernel(body func(pe int), y, x []float64) (*Timing, erro
 		return nil, err
 	}
 	return &rt.tm, nil
+}
+
+// dotStride spaces the per-PE dot slots one cache line (8 float64)
+// apart so the concurrent slot writes of the fused kernel never share
+// a line.
+const dotStride = 8
+
+// runKernelDot runs an SMVP body with the fused dot armed and returns
+// the x·y dot alongside the Timing. The per-PE partials are summed in
+// ascending PE order, so the reduction is deterministic for a given
+// partition — repeated calls yield bit-identical dots.
+func (rt *peRuntime) runKernelDot(body func(pe int), y, x []float64) (float64, *Timing, error) {
+	rt.dispatch.Lock()
+	defer rt.dispatch.Unlock()
+	if err := rt.usable(); err != nil {
+		return 0, nil, err
+	}
+	if rt.fi != nil {
+		rt.iter = rt.fi.BeginKernel()
+	}
+	rt.x, rt.y = x, y
+	rt.fusedDot = true
+	rt.body = body
+	rt.start.await()
+	rt.done.await()
+	rt.body = nil
+	rt.x, rt.y = nil, nil
+	rt.fusedDot = false
+	if err := rt.collectFaults(); err != nil {
+		return 0, nil, err
+	}
+	var d float64
+	for pe := 0; pe < rt.p; pe++ {
+		d += rt.dotSlots[pe*dotStride]
+	}
+	return d, &rt.tm, nil
 }
 
 // usable reports whether kernels may be dispatched: not closed, not

@@ -342,6 +342,40 @@ func Fig11Table(s Scenario, pcounts []int, method partition.Method) (*report.Tab
 	return t, nil
 }
 
+// MeasuredTfTable regenerates the Equation (1)/(2) requirements table
+// with the harness's *measured* per-flop time alongside the paper-era
+// baseline assumption: for every PE count and target efficiency it
+// shows how the required amortized word time T_c, the required per-PE
+// bandwidth, and the half-bandwidth design point shift when baseTf
+// (typically 5 ns, the paper's 200 MFLOPS machine) is replaced by
+// measuredTf (from obs/analyze.AchievedOf over a live kernel window).
+// Equation (1) is linear in T_f, so the whole table moves by the
+// kernel speedup — the quantitative form of the paper's "faster
+// processors need faster networks" argument.
+func MeasuredTfTable(s Scenario, pcounts []int, method partition.Method, baseTf, measuredTf float64) (*report.Table, error) {
+	rows, err := Properties(s, pcounts, method)
+	if err != nil {
+		return nil, err
+	}
+	t := report.New(
+		fmt.Sprintf("Eq.(1)/(2) at measured Tf for %s: base %s vs measured %s (kernel speedup %.2f×)",
+			s.Name, report.SI(baseTf, "s/flop"), report.SI(measuredTf, "s/flop"), baseTf/measuredTf),
+		"subdomains", "E",
+		"required Tc (base)", "required Tc (measured)",
+		"per-PE BW MB/s (base)", "per-PE BW MB/s (measured)",
+		"half-BW MB/s (measured)", "half-latency (measured)")
+	for _, r := range rows {
+		for _, e := range FigEfficiencies {
+			sh := model.ShiftTf(r.App(), e, baseTf, measuredTf)
+			t.AddRow(fmt.Sprint(r.P), report.F(e, 2),
+				report.SI(sh.BaseTc, "s"), report.SI(sh.MeasuredTc, "s"),
+				report.F(model.MBps(sh.BaseBW), 1), report.F(model.MBps(sh.MeasuredBW), 1),
+				report.F(model.MBps(sh.MeasuredHalfBW), 1), report.SI(sh.MeasuredHalfLat, "s"))
+		}
+	}
+	return t, nil
+}
+
 // EXFLOWComparison mirrors the paper's introduction: compare a Quake
 // instance against the published EXFLOW profile on communication volume
 // per MFLOP, messages per MFLOP, and average message size.

@@ -28,6 +28,19 @@ type Operator interface {
 	Dim() int
 }
 
+// FusedOperator is an Operator that can additionally produce the dot
+// product x·y in the same pass over the matrix that computes y = A·x.
+// CG's hot loop needs exactly this pair (ap = A·p and pᵀAp), and fusing
+// them removes one full sweep over the vectors per iteration — on a
+// distributed operator it also removes one of the two global
+// reductions. Config.Fused opts a solve into this path.
+type FusedOperator interface {
+	Operator
+	// ApplyDot computes y = A·x and returns x·y. The same error
+	// contract as Apply: a returned error is fatal to the solve.
+	ApplyDot(y, x []float64) (float64, error)
+}
+
 // BCSROperator adapts a BCSR matrix to the Operator interface.
 type BCSROperator struct{ M *sparse.BCSR }
 
@@ -35,6 +48,13 @@ type BCSROperator struct{ M *sparse.BCSR }
 func (o BCSROperator) Apply(y, x []float64) error {
 	o.M.MulVec(y, x)
 	return nil
+}
+
+// ApplyDot implements FusedOperator. The sparse fused kernel
+// accumulates the dot in sequential index order, so this path is
+// bit-identical to Apply followed by a separate dot.
+func (o BCSROperator) ApplyDot(y, x []float64) (float64, error) {
+	return o.M.MulVecDot(y, x), nil
 }
 
 // Dim implements Operator.
@@ -63,6 +83,25 @@ func (s Shifted) Apply(y, x []float64) error {
 		y[3*i+2] += f * x[3*i+2]
 	}
 	return nil
+}
+
+// ApplyDot implements FusedOperator: the stiffness product and its dot
+// ride one pass over K, then the diagonal mass shift folds its own
+// contribution to both y and the dot in a second short sweep. The shift
+// terms enter the dot in a different order than a separate sequential
+// dot over the finished y, so the result agrees to rounding, not bit
+// for bit — the tolerance the fused-CG certification tests allow.
+func (s Shifted) ApplyDot(y, x []float64) (float64, error) {
+	d := s.K.MulVecDot(y, x)
+	for i, m := range s.MassNode {
+		f := s.Sigma * m
+		x0, x1, x2 := x[3*i], x[3*i+1], x[3*i+2]
+		y[3*i] += f * x0
+		y[3*i+1] += f * x1
+		y[3*i+2] += f * x2
+		d += f * (x0*x0 + x1*x1 + x2*x2)
+	}
+	return d, nil
 }
 
 // Dim implements Operator.
@@ -176,6 +215,20 @@ type Config struct {
 	// and the iteration continues at State.Iter, reproducing the
 	// uninterrupted run bit for bit.
 	Resume *State
+	// Fused opts the solve into the fused kernels when the operator
+	// implements FusedOperator: ap = A·p and pᵀAp come out of one pass
+	// over the matrix (ApplyDot), and the x/r updates, residual norm,
+	// preconditioner application, and ρ = rᵀz merge into a single sweep
+	// over the vectors. An iteration then touches the matrix once and
+	// the iteration vectors twice (fused update + p-direction update)
+	// instead of making six separate vector sweeps. With a local
+	// BCSROperator the fused iteration is bit-identical to the unfused
+	// one (the fused kernels preserve sequential accumulation order);
+	// with a Shifted or distributed operator the merged reductions
+	// reorder sums, so the two paths agree to solve tolerance rather
+	// than bit for bit — certified by the fused-vs-unfused property
+	// tests. Operators without ApplyDot fall back to the unfused path.
+	Fused bool
 }
 
 // Workspace holds CG's four iteration vectors (r, z, p, Ap) and, when
@@ -248,6 +301,8 @@ func CG(a Operator, b, x []float64, cfg Config) (*Result, error) {
 	if cfg.MaxRecoveries <= 0 {
 		cfg.MaxRecoveries = 5
 	}
+	fop, hasFused := a.(FusedOperator)
+	fused := cfg.Fused && hasFused
 
 	res := &Result{}
 
@@ -256,6 +311,9 @@ func CG(a Operator, b, x []float64, cfg Config) (*Result, error) {
 	sp := obs.StartSpan(obs.TrackDriver, "solve", "solver.cg")
 	tracer := obs.ActiveTracer()
 	obs.GetCounter("solver.cg.solves").Add(1)
+	if fused {
+		obs.GetCounter("solver.cg.fused_solves").Add(1)
+	}
 	iterations := obs.GetCounter("solver.cg.iterations")
 	smvps := obs.GetCounter("solver.cg.smvps")
 	dots := obs.GetCounter("solver.cg.dotproducts")
@@ -339,16 +397,19 @@ func CG(a Operator, b, x []float64, cfg Config) (*Result, error) {
 		res.DotProducts++
 	}
 
-	// trueResidual evaluates ‖b − A·x‖ directly, using z as scratch (z
-	// is rebuilt from r before its next use on every path).
+	// trueResidual evaluates ‖b − A·x‖ directly, using ap as scratch: at
+	// every call site the previous A·p has already been consumed by the
+	// x/r update, and the next iteration overwrites ap before reading
+	// it. (It must NOT use z — the fused path builds z = M⁻¹r before the
+	// audits run and the p-direction update reads it after them.)
 	trueResidual := func() (float64, error) {
-		if err := a.Apply(z, x); err != nil {
+		if err := a.Apply(ap, x); err != nil {
 			return 0, err
 		}
 		res.SMVPs++
 		var s float64
-		for i := range z {
-			d := b[i] - z[i]
+		for i := range ap {
+			d := b[i] - ap[i]
 			s += d * d
 		}
 		res.DotProducts++
@@ -452,11 +513,19 @@ func CG(a Operator, b, x []float64, cfg Config) (*Result, error) {
 
 	for iter := startIter; iter < cfg.MaxIter; iter++ {
 		res.Iterations = iter + 1
-		if err := a.Apply(ap, p); err != nil {
-			return res, fmt.Errorf("solver: operator failed at iteration %d: %w", iter, err)
+		var pap float64
+		if fused {
+			var err error
+			if pap, err = fop.ApplyDot(ap, p); err != nil {
+				return res, fmt.Errorf("solver: operator failed at iteration %d: %w", iter, err)
+			}
+		} else {
+			if err := a.Apply(ap, p); err != nil {
+				return res, fmt.Errorf("solver: operator failed at iteration %d: %w", iter, err)
+			}
+			pap = dot(p, ap)
 		}
 		res.SMVPs++
-		pap := dot(p, ap)
 		res.DotProducts++
 		if !isFinite(pap) || pap <= 0 {
 			if !healing {
@@ -468,12 +537,25 @@ func CG(a Operator, b, x []float64, cfg Config) (*Result, error) {
 			continue
 		}
 		alpha := rz / pap
-		for i := range x {
-			x[i] += alpha * p[i]
-			r[i] -= alpha * ap[i]
+		var rn float64
+		var rzNext float64
+		var rzNextValid bool
+		if fused {
+			// One sweep: x/r updates, ‖r‖², z = M⁻¹r, and ρ = rᵀz. The
+			// precomputed (z, ρ) are consumed after the audits below —
+			// which is why trueResidual scratches in ap, not z.
+			rn2, rzf := fusedUpdate(x, r, z, p, ap, cfg.Precondition, alpha)
+			rn = math.Sqrt(rn2)
+			rzNext, rzNextValid = rzf, true
+			res.DotProducts += 2 // ‖r‖² and rᵀz, merged into the sweep
+		} else {
+			for i := range x {
+				x[i] += alpha * p[i]
+				r[i] -= alpha * ap[i]
+			}
+			rn = norm2(r)
+			res.DotProducts++
 		}
-		rn := norm2(r)
-		res.DotProducts++
 		if !isFinite(rn) {
 			if !healing {
 				return res, fmt.Errorf("solver: residual became non-finite (‖r‖ = %g) at iteration %d", rn, iter)
@@ -532,9 +614,14 @@ func CG(a Operator, b, x []float64, cfg Config) (*Result, error) {
 			}
 			certified, certTr = true, tr
 		}
-		applyPrec(z, r)
-		rzNew := dot(r, z)
-		res.DotProducts++
+		var rzNew float64
+		if rzNextValid {
+			rzNew = rzNext
+		} else {
+			applyPrec(z, r)
+			rzNew = dot(r, z)
+			res.DotProducts++
+		}
 		if healing && !isFinite(rzNew) {
 			if err := heal(fmt.Sprintf("ρ = %g at iteration %d", rzNew, iter), math.NaN()); err != nil {
 				return res, err
@@ -557,6 +644,37 @@ func CG(a Operator, b, x []float64, cfg Config) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// fusedUpdate is the fused CG vector sweep: in one pass over the
+// iteration vectors it applies x += α·p and r −= α·ap, accumulates
+// ‖r‖², applies the Jacobi preconditioner z = M⁻¹·r, and accumulates
+// ρ = rᵀz. Each reduction is accumulated one term at a time in
+// ascending index order — the same order the separate norm2/dot calls
+// of the unfused path use — so the fused sweep produces bit-identical
+// x, r, z, ‖r‖², and ρ. Without a preconditioner z = r and ρ = ‖r‖²,
+// again exactly what copy + dot(r, z) yields.
+func fusedUpdate(x, r, z, p, ap, prec []float64, alpha float64) (rn2, rz float64) {
+	if prec == nil {
+		for i := range x {
+			x[i] += alpha * p[i]
+			ri := r[i] - alpha*ap[i]
+			r[i] = ri
+			z[i] = ri
+			rn2 += ri * ri
+		}
+		return rn2, rn2
+	}
+	for i := range x {
+		x[i] += alpha * p[i]
+		ri := r[i] - alpha*ap[i]
+		r[i] = ri
+		rn2 += ri * ri
+		zi := prec[i] * ri
+		z[i] = zi
+		rz += ri * zi
+	}
+	return rn2, rz
 }
 
 func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

@@ -1,0 +1,194 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fem"
+	"repro/internal/sparse"
+)
+
+// shiftedBCSR materializes K + σ·diag(M) as a plain BCSR matrix so a
+// BCSROperator over it is SPD. This is the operator on which the fused
+// path is certified *bit-identical*: BCSR.MulVecDot and fusedUpdate
+// both preserve sequential accumulation order.
+func shiftedBCSR(sys *fem.System, sigma float64) *sparse.BCSR {
+	k := sys.K
+	m := &sparse.BCSR{
+		N:      k.N,
+		RowOff: append([]int64(nil), k.RowOff...),
+		Col:    append([]int32(nil), k.Col...),
+		Val:    append([]float64(nil), k.Val...),
+	}
+	for i := 0; i < m.N; i++ {
+		f := sigma * sys.MassNode[i]
+		blk := [9]float64{f, 0, 0, 0, f, 0, 0, 0, f}
+		m.AddBlock(int32(i), int32(i), &blk)
+	}
+	return m
+}
+
+func randRHS(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	return b
+}
+
+// TestFusedBitIdenticalLocal is the strong certification: on a local
+// BCSROperator the fused solve retraces the unfused solve float for
+// float — same iterate, same residual, same iteration count — with and
+// without the Jacobi preconditioner, and with self-healing armed.
+func TestFusedBitIdenticalLocal(t *testing.T) {
+	sys := buildSystem(t)
+	a := BCSROperator{M: shiftedBCSR(sys, 10)}
+	n := a.Dim()
+	b := randRHS(n, 42)
+
+	diag := make([]float64, n)
+	for i := 0; i < a.M.N; i++ {
+		blk := a.M.Block(int32(i), int32(i))
+		diag[3*i] = 1 / blk[0]
+		diag[3*i+1] = 1 / blk[4]
+		diag[3*i+2] = 1 / blk[8]
+	}
+
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"plain", Config{MaxIter: 4 * n, Tol: 1e-10}},
+		{"jacobi", Config{MaxIter: 4 * n, Tol: 1e-10, Precondition: diag}},
+		{"healing", Config{MaxIter: 4 * n, Tol: 1e-10, CheckEvery: 7}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			xu := make([]float64, n)
+			cfgU := tc.cfg
+			ru, err := CG(a, b, xu, cfgU)
+			if err != nil {
+				t.Fatal(err)
+			}
+			xf := make([]float64, n)
+			cfgF := tc.cfg
+			cfgF.Fused = true
+			rf, err := CG(a, b, xf, cfgF)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ru.Converged || !rf.Converged {
+				t.Fatalf("convergence: unfused %v, fused %v", ru.Converged, rf.Converged)
+			}
+			if ru.Iterations != rf.Iterations {
+				t.Fatalf("iterations: unfused %d, fused %d", ru.Iterations, rf.Iterations)
+			}
+			if math.Float64bits(ru.Residual) != math.Float64bits(rf.Residual) {
+				t.Fatalf("residual: unfused %x, fused %x",
+					math.Float64bits(ru.Residual), math.Float64bits(rf.Residual))
+			}
+			for i := range xu {
+				if math.Float64bits(xu[i]) != math.Float64bits(xf[i]) {
+					t.Fatalf("x[%d]: unfused %x, fused %x", i,
+						math.Float64bits(xu[i]), math.Float64bits(xf[i]))
+				}
+			}
+			// The fused path must actually save work: fewer than the
+			// unfused path's dot-product count is not expected (the merged
+			// reductions are still counted), but SMVPs must match.
+			if ru.SMVPs != rf.SMVPs {
+				t.Errorf("SMVPs: unfused %d, fused %d", ru.SMVPs, rf.SMVPs)
+			}
+		})
+	}
+}
+
+// TestFusedShiftedTolerance certifies the tolerance-level agreement on
+// a Shifted operator, whose ApplyDot folds the mass-shift terms into
+// the dot in a different order than a separate sequential dot.
+func TestFusedShiftedTolerance(t *testing.T) {
+	sys := buildSystem(t)
+	a := shifted(sys)
+	n := a.Dim()
+	b := randRHS(n, 7)
+
+	xu := make([]float64, n)
+	ru, err := CG(a, b, xu, Config{MaxIter: 4 * n, Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xf := make([]float64, n)
+	rf, err := CG(a, b, xf, Config{MaxIter: 4 * n, Tol: 1e-10, Fused: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ru.Converged || !rf.Converged {
+		t.Fatalf("convergence: unfused %v, fused %v", ru.Converged, rf.Converged)
+	}
+	// Same Krylov space, reorderings of O(machine eps): iteration counts
+	// may differ by a step or two, solutions agree to solve tolerance.
+	if d := ru.Iterations - rf.Iterations; d < -3 || d > 3 {
+		t.Errorf("iteration counts far apart: unfused %d, fused %d", ru.Iterations, rf.Iterations)
+	}
+	for i := range xu {
+		if math.Abs(xu[i]-xf[i]) > 1e-6*(1+math.Abs(xu[i])) {
+			t.Fatalf("x[%d]: unfused %g, fused %g", i, xu[i], xf[i])
+		}
+	}
+}
+
+// unfusedOnly hides an operator's ApplyDot so only the Operator
+// interface is visible to the solver.
+type unfusedOnly struct{ Operator }
+
+// TestFusedFallsBack: Config.Fused on an operator without ApplyDot
+// silently takes the unfused path and still solves.
+func TestFusedFallsBack(t *testing.T) {
+	sys := buildSystem(t)
+	a := unfusedOnly{shifted(sys)}
+	n := a.Dim()
+	b := randRHS(n, 3)
+	x := make([]float64, n)
+	res, err := CG(a, b, x, Config{MaxIter: 4 * n, Tol: 1e-8, Fused: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("fallback solve did not converge: %d iters, residual %g", res.Iterations, res.Residual)
+	}
+}
+
+// TestFusedApplyDotShifted pins the Shifted.ApplyDot contract directly:
+// y matches Apply bit for bit, the dot matches a separate sequential
+// dot to rounding.
+func TestFusedApplyDotShifted(t *testing.T) {
+	sys := buildSystem(t)
+	a := shifted(sys)
+	n := a.Dim()
+	x := randRHS(n, 11)
+	yf := make([]float64, n)
+	ys := make([]float64, n)
+	d, err := a.ApplyDot(yf, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Apply(ys, x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range yf {
+		if math.Float64bits(yf[i]) != math.Float64bits(ys[i]) {
+			t.Fatalf("y[%d]: fused %x, separate %x", i,
+				math.Float64bits(yf[i]), math.Float64bits(ys[i]))
+		}
+	}
+	want := dot(x, ys)
+	var scale float64
+	for i := range x {
+		scale += math.Abs(x[i] * ys[i])
+	}
+	if math.Abs(d-want) > 1e-12*(1+scale) {
+		t.Fatalf("dot: fused %g, separate %g (scale %g)", d, want, scale)
+	}
+}

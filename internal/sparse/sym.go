@@ -68,13 +68,22 @@ func (s *SymBCSR) MulVec(y, x []float64) {
 		y[3*i+1] = d[3]*x0 + d[4]*x1 + d[5]*x2
 		y[3*i+2] = d[6]*x0 + d[7]*x1 + d[8]*x2
 	}
-	// Upper blocks: apply block to y[i] and its transpose to y[j].
+	// Upper blocks: apply block to y[i] and its transpose to y[j]. The
+	// row loop re-slices Col/Val per row like the BCSR kernel; the
+	// accumulation order is unchanged, so the output stays bit-identical
+	// to the reference formulation.
+	rowOff := s.RowOff
+	lo := rowOff[0]
 	for i := 0; i < s.N; i++ {
+		hi := rowOff[i+1]
+		cols := s.Col[lo:hi]
+		vals := s.Val[9*lo : 9*hi : 9*hi]
 		xi0, xi1, xi2 := x[3*i], x[3*i+1], x[3*i+2]
 		var ai0, ai1, ai2 float64
-		for k := s.RowOff[i]; k < s.RowOff[i+1]; k++ {
-			j := int(s.Col[k]) * 3
-			v := s.Val[9*k : 9*k+9 : 9*k+9]
+		vi := 0
+		for _, c := range cols {
+			j := int(c) * 3
+			v := vals[vi : vi+9 : vi+9]
 			xj0, xj1, xj2 := x[j], x[j+1], x[j+2]
 			ai0 += v[0]*xj0 + v[1]*xj1 + v[2]*xj2
 			ai1 += v[3]*xj0 + v[4]*xj1 + v[5]*xj2
@@ -82,10 +91,12 @@ func (s *SymBCSR) MulVec(y, x []float64) {
 			y[j] += v[0]*xi0 + v[3]*xi1 + v[6]*xi2
 			y[j+1] += v[1]*xi0 + v[4]*xi1 + v[7]*xi2
 			y[j+2] += v[2]*xi0 + v[5]*xi1 + v[8]*xi2
+			vi += 9
 		}
 		y[3*i] += ai0
 		y[3*i+1] += ai1
 		y[3*i+2] += ai2
+		lo = hi
 	}
 }
 
