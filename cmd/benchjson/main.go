@@ -68,6 +68,12 @@ type Report struct {
 	// (quakerepro -metrics, or a saved /metrics.json) as latency
 	// percentiles, keyed by metric name.
 	Phases map[string]PhasePercentiles `json:"phase_percentiles,omitempty"`
+	// Recovery summarizes the elastic-recovery activity of a -metrics
+	// telemetry snapshot — shrink/grow/migration/resume counts and the
+	// last measured compute imbalance λ — so a soak run's report shows
+	// what the supervisor absorbed. Omitted when the snapshot recorded
+	// no recovery activity.
+	Recovery *RecoveryStats `json:"recovery,omitempty"`
 	// Kernels is the A/B view of the SMVP kernel variants and the
 	// fused-vs-unfused CG solves, keyed by short kernel name (csr, bcsr,
 	// sym, csr_seg, fused, cg_unfused, cg_fused). When a previous
@@ -98,6 +104,16 @@ var kernelBenchmarks = map[string]string{
 	"BenchmarkAblationKernels/fused":   "fused",
 	"BenchmarkDistCGSolve":             "cg_unfused",
 	"BenchmarkDistCGSolveFused":        "cg_fused",
+}
+
+// RecoveryStats is the report's recovery section, read from the
+// recover.* metrics of a telemetry snapshot.
+type RecoveryStats struct {
+	Shrinks         int64   `json:"shrinks"`
+	Grows           int64   `json:"grows"`
+	Migrations      int64   `json:"migrations"`
+	Resumes         int64   `json:"resumes"`
+	RebalanceLambda float64 `json:"rebalance_lambda,omitempty"`
 }
 
 // Overhead is one enabled-vs-disabled benchmark pair.
@@ -201,10 +217,14 @@ func run(inPath, outPath, metricsPath, prevPath string) error {
 		return fmt.Errorf("no benchmark results found in input")
 	}
 	if metricsPath != "" {
-		rep.Phases, err = phasePercentiles(metricsPath)
+		snap, err := loadSnapshot(metricsPath)
 		if err != nil {
 			return fmt.Errorf("-metrics: %w", err)
 		}
+		if rep.Phases, err = phasePercentiles(metricsPath, snap); err != nil {
+			return fmt.Errorf("-metrics: %w", err)
+		}
+		rep.Recovery = recoveryStats(snap)
 	}
 	rep.Kernels = kernelStats(rep.NsPerOp, prevPath, outPath)
 	var w io.Writer = os.Stdout
@@ -365,17 +385,22 @@ func loadPrevNs(prevPath, outPath string) map[string]float64 {
 	return prev.NsPerOp
 }
 
-// phasePercentiles reads a telemetry snapshot and summarizes every
-// non-empty histogram as p50/p95/max.
-func phasePercentiles(path string) (map[string]PhasePercentiles, error) {
+// loadSnapshot reads and parses a telemetry snapshot file.
+func loadSnapshot(path string) (*obs.Snapshot, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var s obs.Snapshot
-	if err := json.Unmarshal(raw, &s); err != nil {
+	s := &obs.Snapshot{}
+	if err := json.Unmarshal(raw, s); err != nil {
 		return nil, err
 	}
+	return s, nil
+}
+
+// phasePercentiles summarizes every non-empty histogram of a telemetry
+// snapshot as p50/p95/max.
+func phasePercentiles(path string, s *obs.Snapshot) (map[string]PhasePercentiles, error) {
 	out := make(map[string]PhasePercentiles)
 	for name, h := range s.Histograms {
 		if h.Count == 0 {
@@ -392,6 +417,22 @@ func phasePercentiles(path string) (map[string]PhasePercentiles, error) {
 		return nil, fmt.Errorf("%s: no histogram observations in snapshot", path)
 	}
 	return out, nil
+}
+
+// recoveryStats extracts the elastic-recovery section from a telemetry
+// snapshot, nil when the run recorded no recovery activity at all.
+func recoveryStats(s *obs.Snapshot) *RecoveryStats {
+	r := &RecoveryStats{
+		Shrinks:         s.Counters["recover.shrinks"],
+		Grows:           s.Counters["recover.grows"],
+		Migrations:      s.Counters["recover.migrations"],
+		Resumes:         s.Counters["recover.resumes"],
+		RebalanceLambda: s.Gauges["recover.rebalance.lambda"],
+	}
+	if r.Shrinks == 0 && r.Grows == 0 && r.Migrations == 0 && r.Resumes == 0 && r.RebalanceLambda == 0 {
+		return nil
+	}
+	return r
 }
 
 // gitInfo returns HEAD's hash and whether the working tree differs

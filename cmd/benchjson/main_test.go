@@ -202,6 +202,83 @@ func TestPhasePercentiles(t *testing.T) {
 	}
 }
 
+// TestRecoverySection: recover.* counters and the rebalance-λ gauge in
+// a -metrics snapshot fold into the report's recovery section; a
+// snapshot without recovery activity omits it entirely.
+func TestRecoverySection(t *testing.T) {
+	r := obs.NewRegistry()
+	prev := obs.Enabled()
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(prev)
+	r.Histogram("par.phase.compute.hist_ns").Observe(42)
+	r.Counter("recover.shrinks").Add(2)
+	r.Counter("recover.grows").Add(2)
+	r.Counter("recover.migrations").Add(3)
+	r.Counter("recover.resumes").Add(5)
+	r.Gauge("recover.rebalance.lambda").Set(1.07)
+
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "metrics.json")
+	f, err := os.Create(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Snapshot().WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	in := filepath.Join(dir, "bench.txt")
+	out := filepath.Join(dir, "bench.json")
+	if err := os.WriteFile(in, []byte(sampleOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(in, out, snap, ""); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Recovery == nil {
+		t.Fatal("recovery section missing from the report")
+	}
+	got := *rep.Recovery
+	want := RecoveryStats{Shrinks: 2, Grows: 2, Migrations: 3, Resumes: 5, RebalanceLambda: 1.07}
+	if got != want {
+		t.Errorf("recovery = %+v, want %+v", got, want)
+	}
+
+	// A quiet snapshot (histograms only) omits the section.
+	quiet := obs.NewRegistry()
+	quiet.Histogram("par.phase.compute.hist_ns").Observe(7)
+	qs := filepath.Join(dir, "quiet.json")
+	qf, err := os.Create(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := quiet.Snapshot().WriteJSON(qf); err != nil {
+		t.Fatal(err)
+	}
+	qf.Close()
+	if err := run(in, out, qs, ""); err != nil {
+		t.Fatal(err)
+	}
+	if data, err = os.ReadFile(out); err != nil {
+		t.Fatal(err)
+	}
+	rep = Report{}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Recovery != nil {
+		t.Errorf("quiet snapshot produced a recovery section: %+v", rep.Recovery)
+	}
+}
+
 // kernelOutput carries the ablation sub-benchmarks and both CG solves,
 // the full population of the report's kernels section.
 const kernelOutput = `BenchmarkAblationKernels/csr-8 	 200 	 5000 ns/op

@@ -11,6 +11,8 @@
 //	quakesim -scenario sf5 -steps 1000 -pes 16
 //	quakesim -faults 'kill:pe=3,iter=40' -checkpoint ck/   # lose a PE, shrink, resume
 //	quakesim -resume ck/                                   # restart from the latest snapshot
+//	quakesim -rebalance -faults 'kill:pe=3,iter=20;revive:pe=3,iter=40'
+//	                                       # kill, shrink, revive, regrow, rebalance stragglers
 package main
 
 import (
@@ -67,6 +69,10 @@ type options struct {
 	// flight is the flight-recorder auto-dump path; "" leaves dumping
 	// disarmed. main() defaults it when a fault plan is armed.
 	flight string
+	// rebalance arms straggler-driven live rebalancing in the recovery
+	// supervisor: measured per-PE compute imbalance above the hysteresis
+	// threshold migrates boundary layers off stragglers at checkpoints.
+	rebalance bool
 
 	// plan is the parsed -faults plan, filled in by validate.
 	plan *fault.Plan
@@ -95,6 +101,7 @@ func parseOptions(args []string, out io.Writer) (*options, error) {
 	fs.StringVar(&opt.resume, "resume", "", "resume the solve from the latest checkpoint in this directory")
 	fs.StringVar(&opt.http, "http", "", "serve live observability on this address (e.g. ':8080'): Prometheus /metrics, /metrics.json, /flight, expvar /debug/vars, /debug/pprof")
 	fs.StringVar(&opt.flight, "flight", "", "arm the flight recorder to dump its ring to this file when a PE faults or a recovery fires (defaults to quakesim.flight.trace.json when -faults is set)")
+	fs.BoolVar(&opt.rebalance, "rebalance", false, "arm straggler-driven live rebalancing: when measured per-PE compute imbalance stays above the threshold, migrate boundary layers off the straggler at a checkpoint; see docs/RELIABILITY.md")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -344,9 +351,11 @@ func run(opt *options) error {
 
 	// Fault soak / graceful-degradation demo: runs last, because a plan
 	// with a panic event poisons the Dist for good (the containment
-	// being demonstrated). Checkpointing, resume, and kill plans route
-	// to the recovery supervisor; other plans to the self-healing soak.
-	if opt.checkpoint != "" || opt.resume != "" || (plan != nil && plan.Has(fault.Kill)) {
+	// being demonstrated). Checkpointing, resume, rebalancing, and
+	// kill/revive plans route to the recovery supervisor; other plans to
+	// the self-healing soak.
+	if opt.checkpoint != "" || opt.resume != "" || opt.rebalance ||
+		(plan != nil && (plan.Has(fault.Kill) || plan.Has(fault.Revive))) {
 		return recoveryRun(opt, plan, dist, sys, m, mat, pt)
 	}
 	if plan != nil {
@@ -357,15 +366,18 @@ func run(opt *options) error {
 	return nil
 }
 
-// recoveryRun demonstrates graceful degradation: it solves the shifted
+// recoveryRun demonstrates elastic recovery: it solves the shifted
 // elastodynamic system under the recovery supervisor, writing durable
 // checkpoints when -checkpoint is set, restarting from the latest
-// snapshot when -resume is set, and — when the plan kills a PE —
-// shrinking onto the survivors and resuming from the last checkpoint.
+// snapshot when -resume is set, shrinking onto the survivors when the
+// plan kills a PE, regrowing onto revived slots when the plan revives
+// one, and — with -rebalance — migrating boundary layers off measured
+// stragglers at checkpoints. The supervisor owns the fault injector;
+// the plan is handed over unarmed.
 func recoveryRun(opt *options, plan *fault.Plan, dist *par.Dist, sys *fem.System,
 	m *mesh.Mesh, mat *material.Model, pt *partition.Partition) error {
-	fmt.Printf("\ngraceful degradation: checkpoint=%q every=%d resume=%q plan=%q\n",
-		opt.checkpoint, opt.every, opt.resume, opt.faults)
+	fmt.Printf("\nelastic recovery: checkpoint=%q every=%d resume=%q rebalance=%v plan=%q\n",
+		opt.checkpoint, opt.every, opt.resume, opt.rebalance, opt.faults)
 
 	op := par.Operator{D: dist, Shift: 20, MassNode: sys.MassNode}
 	n := op.Dim()
@@ -382,13 +394,16 @@ func recoveryRun(opt *options, plan *fault.Plan, dist *par.Dist, sys *fem.System
 		}
 	}
 
-	scfg := solver.Config{MaxIter: 4 * n, Tol: 1e-8, CheckpointEvery: opt.every}
-	var in *fault.Injector
-	if plan != nil {
-		var err error
-		if in, err = dist.InjectFaults(plan); err != nil {
-			return err
-		}
+	cfg := rec.SuperviseConfig{
+		Solver: solver.Config{MaxIter: 4 * n, Tol: 1e-8, CheckpointEvery: opt.every},
+		Store:  store,
+		MeshID: meshID,
+		Plan:   plan,
+	}
+	if opt.rebalance {
+		// The rebalancer's windows come from the live per-PE accumulators.
+		obs.SetEnabled(true)
+		cfg.Rebalance = &rec.RebalanceConfig{}
 	}
 	if opt.resume != "" {
 		rs, err := rec.NewStore(opt.resume)
@@ -406,32 +421,44 @@ func recoveryRun(opt *options, plan *fault.Plan, dist *par.Dist, sys *fem.System
 		if int(ck.P) != pt.P {
 			return fmt.Errorf("-resume: checkpoint %s was taken at %d PEs; rerun with -pes %d", path, ck.P, ck.P)
 		}
-		scfg.Resume = ck.State()
-		if in != nil {
-			in.Advance(ck.FaultIter) // don't replay kernels the first run already executed
+		cfg.Solver.Resume = ck.State()
+		cfg.AdvanceKernels = ck.FaultIter // don't replay kernels the first run already executed
+		if cfg.Plan == nil && ck.FaultPlan != "" {
+			// The snapshot carries the *remaining* plan; re-arm it so a
+			// restarted process keeps absorbing the events that never fired.
+			if cfg.Plan, err = fault.Parse(ck.FaultPlan); err != nil {
+				return fmt.Errorf("-resume: checkpoint fault plan %q: %w", ck.FaultPlan, err)
+			}
+			fmt.Printf("re-armed the remaining fault plan from the checkpoint: %q\n", ck.FaultPlan)
 		}
-		fmt.Printf("resuming from %s at CG iteration %d\n", path, ck.Iter)
+		fmt.Printf("resuming from %s at CG iteration %d (global kernel count %d)\n", path, ck.Iter, ck.FaultIter)
 	}
 
-	rcfg := rec.Config{Solver: scfg, Store: store, MeshID: meshID, FaultPlan: opt.faults}
-	if in != nil {
-		rcfg.FaultIter = in.Iter
-	}
 	x := make([]float64, n)
-	out, err := rec.Solve(dist, &rec.System{Mesh: m, Material: mat, Part: pt, Shift: 20, MassNode: sys.MassNode},
-		b, x, rcfg)
+	out, err := rec.Supervise(dist, &rec.System{Mesh: m, Material: mat, Part: pt, Shift: 20, MassNode: sys.MassNode},
+		b, x, cfg)
 	if out != nil && out.Dist != nil && out.Dist != dist {
-		defer out.Dist.Close() // rebuilt after a shrink; the original is closed by Solve
+		defer out.Dist.Close() // rebuilt after a transition; the original is closed by Supervise
 	}
 	if err != nil {
-		return fmt.Errorf("recovered solve: %w", err)
+		return fmt.Errorf("supervised solve: %w", err)
 	}
 	if out.Shrinks > 0 {
-		fmt.Printf("lost PE(s) %v mid-solve; shrank %d time(s) to %d survivors and resumed from the last checkpoint\n",
-			out.DeadPEs, out.Shrinks, out.Part.P)
+		fmt.Printf("lost PE(s) %v mid-solve; shrank %d time(s) and resumed from the last checkpoint\n",
+			out.DeadPEs, out.Shrinks)
+	}
+	if out.Grows > 0 {
+		fmt.Printf("revived PE slot(s) %v; regrew the partition %d time(s) back to %d PEs\n",
+			out.RevivedPEs, out.Grows, out.Part.P)
+	}
+	if out.Migrations > 0 {
+		fmt.Printf("straggler rebalancing migrated %d boundary layer(s)\n", out.Migrations)
+	}
+	if opt.rebalance && out.FinalLambda > 0 {
+		fmt.Printf("final measured compute imbalance λ = %.3f\n", out.FinalLambda)
 	}
 	if !out.Result.Converged {
-		return fmt.Errorf("recovered solve did not converge: %+v", out.Result)
+		return fmt.Errorf("supervised solve did not converge: %+v", out.Result)
 	}
 	fmt.Printf("solve finished on %d PEs: %d iterations, residual %.3g, %d durable checkpoint(s)\n",
 		out.Part.P, out.Result.Iterations, out.Result.Residual, out.Result.Checkpoints)

@@ -125,6 +125,29 @@ func TestRunRecovery(t *testing.T) {
 	}
 }
 
+// TestRunElasticRecovery drives the kill→shrink→revive→grow round trip
+// from the CLI layer with rebalancing armed: the run must finish at
+// full width, leave durable snapshots behind, and a -resume at the
+// original PE count must restart from them and also finish (the
+// snapshot records the regrown width).
+func TestRunElasticRecovery(t *testing.T) {
+	ckdir := filepath.Join(t.TempDir(), "ck")
+	opt := base(20, 4)
+	opt.faults = "kill:pe=2,iter=8;revive:pe=2,iter=16"
+	opt.checkpoint = ckdir
+	opt.every = 4
+	opt.rebalance = true
+	if err := run(opt); err != nil {
+		t.Fatal(err)
+	}
+	ropt := base(20, 4)
+	ropt.resume = ckdir
+	ropt.rebalance = true
+	if err := run(ropt); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestBadFlagCombos pins the up-front CLI validation: every bad
 // combination must be refused before any meshing starts, and the valid
 // ones must pass.
@@ -152,6 +175,9 @@ func TestBadFlagCombos(t *testing.T) {
 		{"every-without-checkpoint", []string{"-every", "5"}, false},
 		{"resume-missing-dir", []string{"-resume", filepath.Join(dir, "no-such-dir")}, false},
 		{"resume-not-a-dir", []string{"-resume", file}, false},
+		{"rebalance-ok", []string{"-rebalance"}, true},
+		{"rebalance-with-revive-plan", []string{"-rebalance", "-faults", "kill:pe=1,iter=5;revive:pe=1,iter=9"}, true},
+		{"revive-without-iter", []string{"-faults", "revive:pe=1"}, false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -20,6 +20,7 @@
 //	stall    pe, dur          the PE sleeps mid-kernel (a slow PE)
 //	panic    pe               the PE panics mid-kernel (a software fault)
 //	kill     pe               the PE dies permanently (recover by shrinking)
+//	revive   pe, iter         a replacement PE rejoins at this slot (grow back)
 //
 // Every event accepts iter=<n> (the 1-based kernel invocation since the
 // plan was armed; omitted means every invocation). corrupt additionally
@@ -63,11 +64,19 @@ const (
 	// the run should shrink onto the survivors rather than retry on a
 	// rebuilt Dist of the same width.
 	Kill
+	// Revive announces that a replacement PE is ready to rejoin at the
+	// named slot from the given kernel invocation on. The injector
+	// itself never fires it — there is nothing to inject into a running
+	// kernel; the elastic-recovery supervisor (internal/recover)
+	// consumes the event at the next checkpoint boundary and regrows
+	// the partition onto the recovered PE. iter= is mandatory: an
+	// every-invocation revive is meaningless.
+	Revive
 
-	numKinds = 7
+	numKinds = 8
 )
 
-var kindNames = [numKinds]string{"corrupt", "drop", "dup", "delay", "stall", "panic", "kill"}
+var kindNames = [numKinds]string{"corrupt", "drop", "dup", "delay", "stall", "panic", "kill", "revive"}
 
 // String returns the plan-grammar name of the kind.
 func (k Kind) String() string {
@@ -164,7 +173,14 @@ func (p *Plan) String() string {
 // by Parse; Validate is the runtime-facing check.
 func (p *Plan) Validate(pes int) error {
 	for i, e := range p.Events {
-		if e.PE < 0 || e.PE >= pes {
+		lim := pes
+		if e.Kind == Revive {
+			// A revive names an insertion slot, not a live PE: rejoining
+			// at index == width appends a new top PE, so pe ≤ pes is
+			// valid where every other kind requires pe < pes.
+			lim = pes + 1
+		}
+		if e.PE < 0 || e.PE >= lim {
 			return fmt.Errorf("fault: event %d (%s) references PE %d, machine has %d", i, e.Kind, e.PE, pes)
 		}
 		if e.Dst != Unset && (e.Dst < 0 || e.Dst >= pes) {
@@ -320,6 +336,12 @@ func checkEvent(e *Event) error {
 		if e.Dst == Unset {
 			return fmt.Errorf("fault: %s: needs a directed transfer (pe=<src>-><dst>)", e.Kind)
 		}
+	case Revive:
+		// The supervisor consumes revives at checkpoint boundaries; an
+		// every-invocation revive would regrow on every checkpoint.
+		if e.Iter == EveryIter {
+			return fmt.Errorf("fault: revive: needs iter=<n> (the kernel invocation the replacement PE is ready at)")
+		}
 	}
 	switch e.Kind {
 	case Delay, Stall:
@@ -335,7 +357,7 @@ func checkEvent(e *Event) error {
 		return fmt.Errorf("fault: %s: word=/bit= are only valid on corrupt", e.Kind)
 	}
 	// Transfer direction is meaningless for PE-local faults.
-	if (e.Kind == Stall || e.Kind == Panic || e.Kind == Kill) && e.Dst != Unset {
+	if (e.Kind == Stall || e.Kind == Panic || e.Kind == Kill || e.Kind == Revive) && e.Dst != Unset {
 		return fmt.Errorf("fault: %s: does not take a destination PE", e.Kind)
 	}
 	return nil

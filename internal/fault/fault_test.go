@@ -71,6 +71,10 @@ func TestParseErrors(t *testing.T) {
 		"panic:pe=1,bit=3",        // bit invalid on panic
 		"seed:zzz",                // bad seed
 		"corrupt:pe=999999999999", // pe out of bounds
+		"revive:pe=3",             // revive needs iter
+		"revive:pe=3->1,iter=5",   // revive takes no destination
+		"revive:pe=3,iter=5,dur=1ms", // dur invalid on revive
+		"revive:pe=3,iter=5,bit=2",   // bit invalid on revive
 	} {
 		if _, err := Parse(s); err == nil {
 			t.Errorf("Parse(%q) accepted", s)
@@ -83,6 +87,7 @@ func TestStringRoundTrip(t *testing.T) {
 		"corrupt:pe=2,iter=5;stall:pe=0,dur=10ms;panic:pe=1,iter=12;drop:pe=3->1,iter=7",
 		"seed:9;corrupt:pe=0->1,word=3,bit=62",
 		"dup:pe=1->0;delay:pe=0->1,dur=250µs",
+		"kill:pe=5,iter=25;revive:pe=5,iter=40",
 	} {
 		p, err := Parse(s)
 		if err != nil {
@@ -120,6 +125,19 @@ func TestValidate(t *testing.T) {
 	}
 	if err := p.Validate(2); err == nil {
 		t.Error("pe=2 accepted on a 2-PE machine")
+	}
+
+	// A revive names an insertion slot: pe == pes is valid (append at
+	// the top), pe > pes is not.
+	rv, err := Parse("revive:pe=4,iter=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rv.Validate(4); err != nil {
+		t.Errorf("revive pe=4 rejected on a 4-PE machine: %v", err)
+	}
+	if err := rv.Validate(3); err == nil {
+		t.Error("revive pe=4 accepted on a 3-PE machine")
 	}
 }
 

@@ -60,8 +60,11 @@ func TestPhaseAccumsPopulated(t *testing.T) {
 			if as.Sum[pe] <= 0 {
 				t.Errorf("%s PE%d sum = %d, want > 0", name, pe, as.Sum[pe])
 			}
-			if as.Max[pe] <= 0 || as.Max[pe] > as.Sum[pe] {
-				t.Errorf("%s PE%d max = %d out of range (sum %d)", name, pe, as.Max[pe], as.Sum[pe])
+			// Max is a process-lifetime high-water mark — Sub copies it
+			// verbatim — so it cannot be bounded by this window's Sum when
+			// earlier tests already observed a slow kernel.
+			if as.Max[pe] <= 0 {
+				t.Errorf("%s PE%d max = %d, want > 0", name, pe, as.Max[pe])
 			}
 		}
 	}

@@ -1,0 +1,163 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mesh"
+)
+
+// This file holds the partition-level accounting the elastic rebalancer
+// (internal/recover) builds on: boundary-layer extraction and
+// connectivity-metric scoring. Migration decisions are priced by true
+// boundary word volume — the hypergraph connectivity metric, which the
+// Ballard et al. line of work shows is what edge-count proxies
+// mis-price — never by element count alone.
+
+// BoundaryLayer returns the elements of PE from that share at least one
+// mesh node with PE to's region, in ascending element order. This is
+// exactly the set whose migration from→to cannot create new
+// communication partners for to: every moved element already touches
+// to's halo. An empty slice means the two regions are not mesh-adjacent.
+func BoundaryLayer(m *mesh.Mesh, pt *Partition, from, to int) []int32 {
+	touched := make([]bool, m.NumNodes())
+	for e, t := range m.Tets {
+		if int(pt.ElemPE[e]) != to {
+			continue
+		}
+		for _, v := range t {
+			touched[v] = true
+		}
+	}
+	var layer []int32
+	for e, t := range m.Tets {
+		if int(pt.ElemPE[e]) != from {
+			continue
+		}
+		for _, v := range t {
+			if touched[v] {
+				layer = append(layer, int32(e))
+				break
+			}
+		}
+	}
+	return layer
+}
+
+// ConnectivityWords returns the partition's communication volume under
+// the hypergraph connectivity metric: Σ_v 3·(λ_v − 1) words, where λ_v
+// is the number of PEs node v resides on. Each of the λ−1 non-owner
+// replicas of a node must obtain its three partial sums, so this is the
+// minimum one-directional word traffic the sharing pattern forces —
+// unlike TotalWords, which counts the all-pairs exchange the runtime
+// actually performs (3·λ·(λ−1) words per node) and therefore
+// over-weights nodes shared by many PEs quadratically.
+func (pr *Profile) ConnectivityWords() int64 {
+	var v int64
+	for _, lst := range pr.NodePEs {
+		if len(lst) > 1 {
+			v += WordsPerNode * int64(len(lst)-1)
+		}
+	}
+	return v
+}
+
+// MigrationDelta returns the change in connectivity words (see
+// ConnectivityWords) caused by reassigning elems from PE from to PE to,
+// without mutating pt. Negative means the move reduces communication
+// volume. Only the nodes touched by the moved elements can change their
+// residency, so the cost is proportional to the layer's footprint plus
+// one pass over the mesh to index those nodes' elements.
+func MigrationDelta(m *mesh.Mesh, pt *Partition, elems []int32, from, to int) (int64, error) {
+	if from < 0 || from >= pt.P || to < 0 || to >= pt.P || from == to {
+		return 0, fmt.Errorf("partition: migration %d→%d invalid for %d PEs", from, to, pt.P)
+	}
+	moved := make(map[int32]bool, len(elems))
+	affected := make(map[int32]bool, 4*len(elems))
+	for _, e := range elems {
+		if e < 0 || int(e) >= m.NumElems() {
+			return 0, fmt.Errorf("partition: migrating element %d of %d", e, m.NumElems())
+		}
+		if int(pt.ElemPE[e]) != from {
+			return 0, fmt.Errorf("partition: element %d is on PE %d, not %d", e, pt.ElemPE[e], from)
+		}
+		moved[e] = true
+		for _, v := range m.Tets[e] {
+			affected[v] = true
+		}
+	}
+
+	// Per-affected-node PE sets before and after the move. One mesh scan
+	// collects the incident elements of the affected nodes.
+	type residency struct{ before, after map[int32]bool }
+	res := make(map[int32]*residency, len(affected))
+	for v := range affected {
+		res[v] = &residency{before: make(map[int32]bool), after: make(map[int32]bool)}
+	}
+	for e, t := range m.Tets {
+		pe := pt.ElemPE[e]
+		npe := pe
+		if moved[int32(e)] {
+			npe = int32(to)
+		}
+		for _, v := range t {
+			if r, ok := res[v]; ok {
+				r.before[pe] = true
+				r.after[npe] = true
+			}
+		}
+	}
+	var delta int64
+	for _, r := range res {
+		delta += WordsPerNode * int64(len(r.after)-len(r.before))
+	}
+	return delta, nil
+}
+
+// Migrate returns a copy of pt with elems reassigned from PE from to PE
+// to. The inputs are validated the same way as MigrationDelta; the
+// result additionally passes Validate, so a move that would empty PE
+// from is rejected rather than producing a partition no schedule can be
+// built for.
+func Migrate(m *mesh.Mesh, pt *Partition, elems []int32, from, to int) (*Partition, error) {
+	if _, err := MigrationDelta(m, pt, elems, from, to); err != nil {
+		return nil, err
+	}
+	out := &Partition{P: pt.P, ElemPE: append([]int32(nil), pt.ElemPE...)}
+	for _, e := range elems {
+		out.ElemPE[e] = int32(to)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("partition: migration %d→%d of %d elements: %w", from, to, len(elems), err)
+	}
+	return out, nil
+}
+
+// BoundaryWords returns pr.Msg[a][b]: the words PE a sends PE b per
+// exchange, i.e. three words per node the two regions share. It is the
+// true-volume score the rebalancer ranks receiver candidates by
+// (symmetric, so the direction does not matter).
+func (pr *Profile) BoundaryWords(a, b int) int64 {
+	if a < 0 || a >= pr.P || b < 0 || b >= pr.P {
+		return 0
+	}
+	return pr.Msg[a][b]
+}
+
+// MeshNeighbors returns the PEs whose regions share at least one node
+// with PE pe's region, ascending. These are the only legal receivers
+// for a boundary-layer migration out of pe: moving a layer to a
+// non-adjacent PE would manufacture brand-new communication edges.
+func (pr *Profile) MeshNeighbors(pe int) []int {
+	if pe < 0 || pe >= pr.P {
+		return nil
+	}
+	var out []int
+	for q := 0; q < pr.P; q++ {
+		if q != pe && pr.Msg[pe][q] > 0 {
+			out = append(out, q)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

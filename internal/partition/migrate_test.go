@@ -1,0 +1,182 @@
+package partition
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestBoundaryLayerProperties pins the layer contract: every returned
+// element belongs to from, shares at least one node with to's region,
+// the list is ascending, and non-adjacent PE pairs yield an empty
+// layer.
+func TestBoundaryLayerProperties(t *testing.T) {
+	m := testMesh(t)
+	pt := mustPartition(t, m, 8, RCB)
+	pr := mustAnalyze(t, m, pt)
+
+	adjacentPairs := 0
+	for from := 0; from < pt.P; from++ {
+		for to := 0; to < pt.P; to++ {
+			if from == to {
+				continue
+			}
+			layer := BoundaryLayer(m, pt, from, to)
+			if (pr.Msg[from][to] > 0) != (len(layer) > 0) {
+				t.Fatalf("pair %d→%d: Msg=%d but layer has %d elements", from, to, pr.Msg[from][to], len(layer))
+			}
+			if len(layer) == 0 {
+				continue
+			}
+			adjacentPairs++
+			if !sort.SliceIsSorted(layer, func(a, b int) bool { return layer[a] < layer[b] }) {
+				t.Fatalf("pair %d→%d: layer not ascending", from, to)
+			}
+			toNodes := make(map[int32]bool)
+			for e, tet := range m.Tets {
+				if int(pt.ElemPE[e]) == to {
+					for _, v := range tet {
+						toNodes[v] = true
+					}
+				}
+			}
+			for _, e := range layer {
+				if int(pt.ElemPE[e]) != from {
+					t.Fatalf("pair %d→%d: layer element %d is on PE %d", from, to, e, pt.ElemPE[e])
+				}
+				touches := false
+				for _, v := range m.Tets[e] {
+					if toNodes[v] {
+						touches = true
+						break
+					}
+				}
+				if !touches {
+					t.Fatalf("pair %d→%d: layer element %d does not touch the receiver", from, to, e)
+				}
+			}
+		}
+	}
+	if adjacentPairs == 0 {
+		t.Fatal("no adjacent PE pairs in an 8-way RCB partition")
+	}
+}
+
+// TestConnectivityWords checks the Σ 3·(λ−1) accounting against a
+// direct recount and its relationship to the all-pairs exchange volume:
+// equal when every shared node has λ = 2, strictly below half of
+// TotalWords otherwise.
+func TestConnectivityWords(t *testing.T) {
+	m := testMesh(t)
+	pt := mustPartition(t, m, 8, RCB)
+	pr := mustAnalyze(t, m, pt)
+
+	var want int64
+	maxLambda := 0
+	for _, lst := range pr.NodePEs {
+		if len(lst) > maxLambda {
+			maxLambda = len(lst)
+		}
+		if len(lst) > 1 {
+			want += WordsPerNode * int64(len(lst)-1)
+		}
+	}
+	if got := pr.ConnectivityWords(); got != want {
+		t.Fatalf("ConnectivityWords = %d, recount %d", got, want)
+	}
+	// TotalWords counts 3·λ·(λ−1) per node (all ordered pairs), so
+	// connectivity ≤ TotalWords/2 with equality iff all λ ≤ 2.
+	if cw, tw := pr.ConnectivityWords(), pr.TotalWords(); cw > tw/2 {
+		t.Fatalf("connectivity %d exceeds half the exchange volume %d", cw, tw)
+	} else if maxLambda > 2 && cw == tw/2 {
+		t.Fatalf("λ_max = %d but connectivity %d equals half of %d", maxLambda, cw, tw)
+	}
+}
+
+// TestMigrationDeltaMatchesRecount applies a real boundary-layer move
+// and checks that the predicted delta equals the difference of full
+// ConnectivityWords recomputations, and that Migrate produced a valid
+// partition with exactly the layer reassigned.
+func TestMigrationDeltaMatchesRecount(t *testing.T) {
+	m := testMesh(t)
+	pt := mustPartition(t, m, 8, RCB)
+	pr := mustAnalyze(t, m, pt)
+
+	moves := 0
+	for from := 0; from < pt.P && moves < 4; from++ {
+		for _, to := range pr.MeshNeighbors(from) {
+			layer := BoundaryLayer(m, pt, from, to)
+			if len(layer) == 0 || len(layer) == pt.Sizes()[from] {
+				continue
+			}
+			delta, err := MigrationDelta(m, pt, layer, from, to)
+			if err != nil {
+				t.Fatal(err)
+			}
+			moved, err := Migrate(m, pt, layer, from, to)
+			if err != nil {
+				t.Fatal(err)
+			}
+			after := mustAnalyze(t, m, moved)
+			if got := after.ConnectivityWords() - pr.ConnectivityWords(); got != delta {
+				t.Fatalf("move %d→%d (%d elems): predicted delta %d, recount %d", from, to, len(layer), delta, got)
+			}
+			changed := 0
+			for e := range moved.ElemPE {
+				if moved.ElemPE[e] != pt.ElemPE[e] {
+					changed++
+					if int(moved.ElemPE[e]) != to || int(pt.ElemPE[e]) != from {
+						t.Fatalf("element %d moved %d→%d, want %d→%d", e, pt.ElemPE[e], moved.ElemPE[e], from, to)
+					}
+				}
+			}
+			if changed != len(layer) {
+				t.Fatalf("move %d→%d: %d elements changed, layer has %d", from, to, changed, len(layer))
+			}
+			moves++
+			if moves >= 4 {
+				break
+			}
+		}
+	}
+	if moves == 0 {
+		t.Fatal("no movable boundary layer found")
+	}
+}
+
+// TestMigrateErrors pins the rejection paths: bad PEs, elements not on
+// the source PE, out-of-range ids, and moves that would empty the
+// source.
+func TestMigrateErrors(t *testing.T) {
+	m := testMesh(t)
+	pt := mustPartition(t, m, 4, RCB)
+
+	if _, err := MigrationDelta(m, pt, nil, 0, 0); err == nil {
+		t.Error("from == to accepted")
+	}
+	if _, err := MigrationDelta(m, pt, nil, -1, 2); err == nil {
+		t.Error("negative source PE accepted")
+	}
+	if _, err := MigrationDelta(m, pt, []int32{int32(m.NumElems())}, 0, 1); err == nil {
+		t.Error("out-of-range element accepted")
+	}
+	var notOnZero int32 = -1
+	for e, pe := range pt.ElemPE {
+		if pe != 0 {
+			notOnZero = int32(e)
+			break
+		}
+	}
+	if _, err := MigrationDelta(m, pt, []int32{notOnZero}, 0, 1); err == nil {
+		t.Error("element not on source PE accepted")
+	}
+	// Draining every element of PE 0 must be rejected by Validate.
+	var all []int32
+	for e, pe := range pt.ElemPE {
+		if pe == 0 {
+			all = append(all, int32(e))
+		}
+	}
+	if _, err := Migrate(m, pt, all, 0, 1); err == nil {
+		t.Error("move emptying the source PE accepted")
+	}
+}

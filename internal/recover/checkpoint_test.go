@@ -61,7 +61,10 @@ func TestDecodeRejections(t *testing.T) {
 	valid := sampleCheckpoint().Encode()
 
 	t.Run("truncated", func(t *testing.T) {
-		for _, n := range []int{0, 7, headerLen - 1, headerLen + 3, len(valid) - 1} {
+		// Prefixes cut inside the header (before headerLen) matter as
+		// much as payload truncation: Latest must treat both as
+		// undecodable and fall through to an older snapshot.
+		for _, n := range []int{0, 7, 12, headerLen - 4, headerLen - 1, headerLen, headerLen + 3, len(valid) - 1} {
 			if _, err := Decode(valid[:n]); err == nil {
 				t.Errorf("accepted a %d-byte prefix", n)
 			}
@@ -154,6 +157,19 @@ func TestStoreSaveLatest(t *testing.T) {
 	if got.Iter != 10 {
 		t.Fatalf("fallback Latest = iter %d, want 10", got.Iter)
 	}
+	// A file truncated *inside the header* (a crash mid-write on a
+	// filesystem without atomic rename, or torn storage) must degrade
+	// the same way — skipped, not fatal.
+	if err := os.WriteFile(path, data[:12], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err = s.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Iter != 10 {
+		t.Fatalf("truncated-header fallback Latest = iter %d, want 10", got.Iter)
+	}
 	// No temp litter after successful saves.
 	entries, err := os.ReadDir(s.Dir())
 	if err != nil {
@@ -196,9 +212,14 @@ func TestCheckpointSolverStateRoundTrip(t *testing.T) {
 // FuzzDecodeCheckpoint: random mutations of a valid snapshot must
 // never crash or hang the decoder — only decode cleanly or error.
 func FuzzDecodeCheckpoint(f *testing.F) {
-	f.Add(sampleCheckpoint().Encode())
+	valid := sampleCheckpoint().Encode()
+	f.Add(valid)
 	f.Add([]byte(ckptMagic))
 	f.Add([]byte{})
+	// Headers cut mid-field: past the magic, and past the version but
+	// inside the length/CRC words.
+	f.Add(valid[:12])
+	f.Add(valid[:headerLen-4])
 	f.Fuzz(func(t *testing.T, data []byte) {
 		ck, err := Decode(data)
 		if err == nil && ck == nil {

@@ -1,0 +1,185 @@
+package recover
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/comm"
+)
+
+// TestGrowPartition pins the regrowth invariants: the revived slot is
+// inserted (P+1, existing PEs renumbered up), elements move only onto
+// the revived PE, no donor is drained below the balanced target, the
+// result validates, and the procedure is deterministic.
+func TestGrowPartition(t *testing.T) {
+	f := newFixture(t)
+	pt := f.partition(t, 8)
+	const revived = 3
+	gpt, donor, err := GrowPartition(f.m, pt, revived)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gpt.P != 9 {
+		t.Fatalf("grown P = %d, want 9", gpt.P)
+	}
+	if err := gpt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if donor < 0 || donor >= gpt.P || donor == revived {
+		t.Fatalf("donor %d invalid for revived slot %d of %d PEs", donor, revived, gpt.P)
+	}
+
+	// Elements either keep their renumbered assignment or joined the
+	// revived region — a grow never shuffles elements between donors.
+	before := make([]int, gpt.P)
+	for e, old := range pt.ElemPE {
+		want := old
+		if int(old) >= revived {
+			want++
+		}
+		before[want]++
+		if got := gpt.ElemPE[e]; got != want && int(got) != revived {
+			t.Fatalf("element %d moved from PE %d to %d (revived slot is %d)", e, want, got, revived)
+		}
+	}
+
+	target := f.m.NumElems() / gpt.P
+	sizes := gpt.Sizes()
+	if sizes[revived] < 1 || sizes[revived] > target {
+		t.Fatalf("revived PE holds %d elements, want within [1,%d]", sizes[revived], target)
+	}
+	for q := 0; q < gpt.P; q++ {
+		if q == revived {
+			continue
+		}
+		if sizes[q] < before[q] && sizes[q] < target {
+			t.Fatalf("donor %d drained to %d elements, below the target %d", q, sizes[q], target)
+		}
+	}
+
+	// Determinism.
+	again, donor2, err := GrowPartition(f.m, pt, revived)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if donor2 != donor {
+		t.Fatalf("grow is nondeterministic: donors %d vs %d", donor, donor2)
+	}
+	for e := range gpt.ElemPE {
+		if gpt.ElemPE[e] != again.ElemPE[e] {
+			t.Fatalf("grow is nondeterministic at element %d", e)
+		}
+	}
+
+	// Inserting at the top slot (pe == P) appends a new highest PE.
+	top, _, err := GrowPartition(f.m, pt, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.P != 9 {
+		t.Fatalf("top-slot grow P = %d, want 9", top.P)
+	}
+	if err := top.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Error cases.
+	if _, _, err := GrowPartition(f.m, pt, 9); err == nil {
+		t.Fatal("out-of-range revived slot accepted")
+	}
+	if _, _, err := GrowPartition(f.m, pt, -1); err == nil {
+		t.Fatal("negative revived slot accepted")
+	}
+}
+
+// TestGrowShrinkRoundTrip: regrowing the slot a shrink compacted away
+// restores the original width with a valid, balanced partition.
+func TestGrowShrinkRoundTrip(t *testing.T) {
+	f := newFixture(t)
+	pt := f.partition(t, 8)
+	const dead = 5
+	spt, err := ShrinkPartition(f.m, pt, dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpt, _, err := GrowPartition(f.m, spt, dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gpt.P != 8 {
+		t.Fatalf("round-trip width %d, want 8", gpt.P)
+	}
+	if err := gpt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The round trip must not leave the regrown slot starved: it holds
+	// at least half the balanced share.
+	if sizes := gpt.Sizes(); sizes[dead] < f.m.NumElems()/(2*gpt.P) {
+		t.Fatalf("regrown PE %d holds %d of %d elements", dead, sizes[dead], f.m.NumElems())
+	}
+}
+
+// TestGrowNodeOfComposition: GrowNodeOf is the inverse of ShrinkNodeOf
+// — shrinking a slot away and growing it back with the same node
+// restores the original mapping.
+func TestGrowNodeOfComposition(t *testing.T) {
+	base := comm.ContiguousNodes(2) // 0,0,1,1,2,2,...
+	g := GrowNodeOf(base, 2, 7)     // insert a PE on node 7 at slot 2
+	want := []int32{0, 0, 7, 1, 1, 2}
+	for pe, w := range want {
+		if got := g(int32(pe)); got != w {
+			t.Fatalf("after grow, nodeOf(%d) = %d, want %d", pe, got, w)
+		}
+	}
+	// Round trip: shrink slot 2 away again.
+	rt := ShrinkNodeOf(g, 2)
+	for pe := int32(0); pe < 5; pe++ {
+		if got, w := rt(pe), base(pe); got != w {
+			t.Fatalf("round trip nodeOf(%d) = %d, want %d", pe, got, w)
+		}
+	}
+}
+
+// TestGrowRebuildsWorkingDist: Grow's Dist computes the same SMVP as a
+// fresh full-width reference (to roundoff — the summation order
+// differs across partitions) and reports the transition metadata.
+func TestGrowRebuildsWorkingDist(t *testing.T) {
+	f := newFixture(t)
+	pt := f.partition(t, 8)
+	spt, err := ShrinkPartition(f.m, pt, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reb, err := Grow(f.m, f.mat, spt, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reb.Dist.Close()
+	if reb.DeadPE != -1 || reb.RevivedPE != 4 || reb.Donor < 0 {
+		t.Fatalf("transition metadata: dead=%d revived=%d donor=%d", reb.DeadPE, reb.RevivedPE, reb.Donor)
+	}
+	if reb.Dist.P != 8 || reb.Partition.P != 8 || reb.Profile.P != 8 {
+		t.Fatalf("grown widths: dist=%d part=%d profile=%d, want 8", reb.Dist.P, reb.Partition.P, reb.Profile.P)
+	}
+
+	refD := f.dist(t, f.partition(t, 8))
+	defer refD.Close()
+	n := 3 * f.m.NumNodes()
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Cos(float64(i))
+	}
+	got := make([]float64, n)
+	want := make([]float64, n)
+	if _, err := reb.Dist.SMVP(got, x); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := refD.SMVP(want, x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if d := math.Abs(got[i] - want[i]); d > 1e-9*(1+math.Abs(want[i])) {
+			t.Fatalf("grown SMVP differs at %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+}

@@ -163,14 +163,22 @@ func ShrinkNodeOf(nodeOf func(pe int32) int32, dead int) func(pe int32) int32 {
 	}
 }
 
-// Rebuilt is the outcome of one shrink: the p−1 operator with its
-// partition, analysis profile, and re-derived flat schedule.
+// Rebuilt is the outcome of one elastic transition — a shrink (width
+// p−1) or a grow (width p+1) — carrying the new operator with its
+// partition, analysis profile, and re-derived flat schedule. Fields
+// that do not apply to the transition are −1: a shrink sets RevivedPE
+// and Donor to −1, a grow sets DeadPE to −1.
 type Rebuilt struct {
 	Dist      *par.Dist
 	Partition *partition.Partition
 	Profile   *partition.Profile
 	Schedule  *comm.Schedule
 	DeadPE    int
+	// RevivedPE is the slot a recovered PE rejoined at; Donor is the PE
+	// (grown numbering) that seeded its region, the natural physical
+	// placement for the replacement.
+	RevivedPE int
+	Donor     int
 }
 
 // Shrink rebuilds the distributed operator on the survivors of dead:
@@ -207,5 +215,5 @@ func Shrink(m *mesh.Mesh, mat *material.Model, pt *partition.Partition, dead int
 		return nil, fmt.Errorf("recover: rebuilding Dist: %w", err)
 	}
 	sp.EndWith(map[string]any{"dead_pe": dead, "survivors": spt.P})
-	return &Rebuilt{Dist: d, Partition: spt, Profile: pr, Schedule: sched, DeadPE: dead}, nil
+	return &Rebuilt{Dist: d, Partition: spt, Profile: pr, Schedule: sched, DeadPE: dead, RevivedPE: -1, Donor: -1}, nil
 }

@@ -76,6 +76,45 @@ func fingerprints(t *testing.T) map[string]uint64 {
 					}
 					got["shrink/"+key+"/dead3/partition"] = Partition(spt)
 					got["shrink/"+key+"/dead3/schedule"] = Schedule(ssched)
+					// Expand-to-recovered is the deterministic dual:
+					// pin regrowing the shrunk partition back onto a
+					// revived slot 3.
+					gpt, _, err := rec.GrowPartition(m, spt, 3)
+					if err != nil {
+						t.Fatal(err)
+					}
+					gpr, err := partition.Analyze(m, gpt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					gsched, err := comm.FromMatrix(gpr.Msg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got["grow/"+key+"/revive3/partition"] = Partition(gpt)
+					got["grow/"+key+"/revive3/schedule"] = Schedule(gsched)
+					// The rebalance pass is deterministic for fixed loads:
+					// pin migrating off a synthetically doubled straggler
+					// (PE 0 billed at twice its element count).
+					loads := make([]int64, pt.P)
+					for q, sz := range pt.Sizes() {
+						loads[q] = int64(sz) * 1000
+					}
+					loads[0] *= 2
+					rpt, _, err := rec.RebalancePartition(m, pt, loads, 2)
+					if err != nil {
+						t.Fatal(err)
+					}
+					rpr, err := partition.Analyze(m, rpt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					rsched, err := comm.FromMatrix(rpr.Msg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got["rebalance/"+key+"/hot0/partition"] = Partition(rpt)
+					got["rebalance/"+key+"/hot0/schedule"] = Schedule(rsched)
 				}
 			}
 		}

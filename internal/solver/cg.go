@@ -9,12 +9,21 @@
 package solver
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/obs"
 	"repro/internal/sparse"
 )
+
+// ErrInterrupted reports that Config.Interrupt stopped the solve at a
+// durable checkpoint boundary. The iterate is consistent: the State just
+// delivered to OnCheckpoint resumes the solve bit for bit via
+// Config.Resume. The elastic-recovery supervisor uses this to pause a
+// solve, regrow or rebalance the partition, and continue on the rebuilt
+// operator.
+var ErrInterrupted = errors.New("solver: interrupted at checkpoint")
 
 // Operator is a square linear operator on block vectors (length 3·N
 // scalars for N block rows).
@@ -210,6 +219,11 @@ type Config struct {
 	// OnCheckpoint consumes durable snapshots. The *State and its
 	// slices are owned by the callee.
 	OnCheckpoint func(*State)
+	// Interrupt, when non-nil, is polled immediately after every
+	// OnCheckpoint delivery (so it runs only when durable checkpointing
+	// is armed). Returning true stops the solve with ErrInterrupted;
+	// the snapshot just delivered is the exact state to Resume from.
+	Interrupt func(iter int) bool
 	// Resume, when non-nil, restarts the solve from a captured State
 	// instead of the caller's x: the snapshot's (x, r, p, ρ) are loaded
 	// and the iteration continues at State.Iter, reproducing the
@@ -509,6 +523,9 @@ func CG(a Operator, b, x []float64, cfg Config) (*Result, error) {
 		// checkpoint still leaves a consistent state to resume from.
 		res.Checkpoints++
 		cfg.OnCheckpoint(snapshot(0))
+		if cfg.Interrupt != nil && cfg.Interrupt(0) {
+			return res, ErrInterrupted
+		}
 	}
 
 	for iter := startIter; iter < cfg.MaxIter; iter++ {
@@ -641,6 +658,9 @@ func CG(a Operator, b, x []float64, cfg Config) (*Result, error) {
 		if durable && (iter+1)%cfg.CheckpointEvery == 0 {
 			res.Checkpoints++
 			cfg.OnCheckpoint(snapshot(iter + 1))
+			if cfg.Interrupt != nil && cfg.Interrupt(iter+1) {
+				return res, ErrInterrupted
+			}
 		}
 	}
 	return res, nil

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 )
@@ -81,6 +82,76 @@ func TestCGResumeBitIdentical(t *testing.T) {
 		if pGot[i] != pRef[i] {
 			t.Fatalf("preconditioned resumed solution differs at %d: %x vs %x", i, pGot[i], pRef[i])
 		}
+	}
+}
+
+// TestCGInterruptResume pins the cooperative-pause contract the elastic
+// supervisor relies on: Config.Interrupt firing at a checkpoint stops
+// the solve with ErrInterrupted, and resuming from the snapshot just
+// delivered completes with bit-identical results to an uninterrupted
+// run.
+func TestCGInterruptResume(t *testing.T) {
+	sys := buildSystem(t)
+	a := shifted(sys)
+	n := a.Dim()
+	rng := rand.New(rand.NewSource(29))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	cfg := Config{MaxIter: 4 * n, Tol: 1e-10}
+
+	ref := make([]float64, n)
+	refRes, err := CG(a, b, ref, cfg)
+	if err != nil || !refRes.Converged {
+		t.Fatalf("reference solve: converged=%v err=%v", refRes != nil && refRes.Converged, err)
+	}
+
+	var last *State
+	intCfg := cfg
+	intCfg.CheckpointEvery = 5
+	intCfg.OnCheckpoint = func(s *State) { last = s }
+	intCfg.Interrupt = func(iter int) bool { return iter >= 10 }
+	got := make([]float64, n)
+	res, err := CG(a, b, got, intCfg)
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("interrupted solve: err=%v, want ErrInterrupted", err)
+	}
+	if res.Converged {
+		t.Fatal("interrupted solve reported convergence")
+	}
+	if last == nil || last.Iter != 10 {
+		t.Fatalf("last checkpoint iter = %v, want 10", last)
+	}
+
+	resumeCfg := cfg
+	resumeCfg.Resume = last
+	gotRes, err := CG(a, b, got, resumeCfg)
+	if err != nil || !gotRes.Converged {
+		t.Fatalf("resumed solve: converged=%v err=%v", gotRes != nil && gotRes.Converged, err)
+	}
+	if gotRes.Iterations != refRes.Iterations || gotRes.Residual != refRes.Residual {
+		t.Fatalf("resumed run: %d iters residual %x; uninterrupted: %d iters residual %x",
+			gotRes.Iterations, gotRes.Residual, refRes.Iterations, refRes.Residual)
+	}
+	for i := range got {
+		if got[i] != ref[i] {
+			t.Fatalf("resumed solution differs from uninterrupted at %d: %x vs %x", i, got[i], ref[i])
+		}
+	}
+
+	// Interrupt firing at the iteration-0 snapshot stops before any
+	// iteration runs.
+	var first *State
+	zeroCfg := cfg
+	zeroCfg.CheckpointEvery = 5
+	zeroCfg.OnCheckpoint = func(s *State) { first = s }
+	zeroCfg.Interrupt = func(int) bool { return true }
+	if _, err := CG(a, b, make([]float64, n), zeroCfg); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("iteration-0 interrupt: err=%v, want ErrInterrupted", err)
+	}
+	if first == nil || first.Iter != 0 {
+		t.Fatalf("iteration-0 interrupt delivered checkpoint %v, want Iter 0", first)
 	}
 }
 
