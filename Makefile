@@ -3,7 +3,7 @@
 GO ?= go
 BENCH_DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: all build vet test race bench bench-json bench-smoke fuzz-smoke soak-smoke cover ci repro examples clean
+.PHONY: all build vet test race bench bench-json bench-smoke fuzz-smoke soak-smoke serve-smoke cover ci repro examples clean
 
 # Benchmarks must run at the host's full width: a throttled GOMAXPROCS
 # makes every parallel benchmark meaningless (the PE goroutines
@@ -23,14 +23,15 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race . ./internal/fault/ ./internal/obs/... ./internal/par/ ./internal/partition/ ./internal/recover/ ./internal/solver/ ./internal/sparse/ ./internal/spark/
+	$(GO) test -race . ./internal/fault/ ./internal/obs/... ./internal/par/ ./internal/partition/ ./internal/recover/ ./internal/serve/ ./internal/solver/ ./internal/sparse/ ./internal/spark/
 
 # The gate CI runs: build + vet + full tests (as a coverage run with a
 # floor), plus the race detector on the concurrency-heavy packages, plus
 # a one-iteration benchmark smoke run so the kernel entry points cannot
 # silently rot, plus a few seconds of fuzzing on the parsers that face
-# untrusted input, plus the elastic-recovery chaos soak.
-ci: build vet cover race bench-smoke fuzz-smoke soak-smoke
+# untrusted input, plus the elastic-recovery chaos soak and the quaked
+# service smoke.
+ci: build vet cover race bench-smoke fuzz-smoke soak-smoke serve-smoke
 
 # Total statement coverage must not sink below the floor (measured
 # 88.1% when the gate was introduced; the margin absorbs run-to-run
@@ -77,6 +78,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzAggregate -fuzztime=5s ./internal/comm/
 	$(GO) test -run='^$$' -fuzz=FuzzParsePlan -fuzztime=5s ./internal/fault/
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeCheckpoint -fuzztime=5s ./internal/recover/
+	$(GO) test -run='^$$' -fuzz=FuzzSolveRequest -fuzztime=5s ./internal/serve/
 
 # The elastic-recovery chaos soak: an actual quakesim run that loses a
 # PE mid-solve, shrinks to the survivors, revives the slot, regrows to
@@ -90,6 +92,14 @@ soak-smoke:
 		-checkpoint soak-ck -every 5 -flight soak.flight.trace.json
 	rm -rf soak-ck soak.flight.trace.json
 	$(GO) test -count=1 -run 'TestMultiFaultSoak|TestKillReviveRoundTrip' ./internal/recover/
+
+# The quaked service smoke: start the warm-pool server, run one cold
+# and one cached solve against it over HTTP, assert the
+# serve.cache.{hits,misses} counters through /metrics.json, and shut
+# down gracefully — the whole serving stack exercised as a binary, not
+# just in unit tests (see docs/SERVICE.md).
+serve-smoke:
+	$(GO) run ./cmd/quaked -addr 127.0.0.1:0 -smoke
 
 # One-shot figure regeneration without the benchmark harness.
 repro:

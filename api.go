@@ -2,6 +2,8 @@ package quake
 
 import (
 	"context"
+	"net/http"
+	"sync"
 
 	"repro/internal/comm"
 	"repro/internal/fault"
@@ -19,6 +21,7 @@ import (
 	"repro/internal/partition"
 	iq "repro/internal/quake"
 	"repro/internal/report"
+	"repro/internal/serve"
 	"repro/internal/solver"
 	"repro/internal/spark"
 	"repro/internal/sparse"
@@ -453,3 +456,79 @@ func ArmFlightDump(path string) { obs.FlightRecorder.SetDumpPath(path) }
 // FlightEvents returns the flight recorder's current ring contents,
 // oldest first.
 func FlightEvents() []FlightEvent { return obs.FlightRecorder.Events() }
+
+// Serving: the warm-pool session facade over internal/serve. Open a
+// session once, Solve it many times, Close when done — the expensive
+// mesh/partition/schedule/assembly artifacts and the warm Dist pool
+// live in a process-wide engine keyed by deterministic fingerprints,
+// so construct-use-Close callers and the quaked HTTP service share the
+// same cache semantics. See docs/SERVICE.md.
+type (
+	// ServeConfig tunes the serving engine: admission bounds, warm-pool
+	// size, per-request budget ceilings, and the scenario resolver.
+	ServeConfig = serve.Config
+	// ServeEngine is the serving core: the artifact cache, the warm
+	// worker pools, and bounded admission.
+	ServeEngine = serve.Engine
+	// Session is a warm handle on one cached (scenario, p, method,
+	// nodesize) tuple.
+	Session = serve.Session
+	// SessionSpec names the tuple a session binds to.
+	SessionSpec = serve.SessionSpec
+	// SessionStatus is a session's point-in-time state.
+	SessionStatus = serve.Status
+	// SolveSpec is one solve's parameters and budgets.
+	SolveSpec = serve.SolveSpec
+	// SolveOutcome reports one served solve: convergence, cache and
+	// fingerprint provenance, recovery transitions, certification.
+	SolveOutcome = serve.SolveResult
+	// SolveProgress is one residual progress sample.
+	SolveProgress = serve.Progress
+)
+
+// Serving errors, for errors.Is against Session and engine results.
+var (
+	ErrServeBusy     = serve.ErrBusy
+	ErrServeCanceled = serve.ErrCanceled
+	ErrServeClosed   = serve.ErrClosed
+)
+
+// NewServeEngine builds a serving engine; Close releases its pools.
+func NewServeEngine(cfg ServeConfig) *ServeEngine { return serve.NewEngine(cfg) }
+
+// ServeMux returns the quaked HTTP surface for an engine: /v1/ solve
+// and session endpoints plus the full observability export.
+func ServeMux(e *ServeEngine) *http.ServeMux { return serve.NewMux(e) }
+
+// The process-wide default engine behind Open, built lazily.
+var (
+	defaultServeMu sync.Mutex
+	defaultServe   *serve.Engine
+)
+
+// Open creates (or re-binds) a session on the process-wide serving
+// engine, cold-building the tuple's artifacts on first use and serving
+// them warm afterwards. Telemetry is enabled as a side effect — the
+// cache counters are the engine's observable contract.
+func Open(spec SessionSpec) (*Session, error) {
+	defaultServeMu.Lock()
+	if defaultServe == nil {
+		obs.SetEnabled(true)
+		defaultServe = serve.NewEngine(serve.Config{})
+	}
+	e := defaultServe
+	defaultServeMu.Unlock()
+	return e.Open(spec)
+}
+
+// CloseServing shuts the process-wide engine down, releasing every
+// pooled runtime. A later Open starts a fresh (cold) engine.
+func CloseServing() {
+	defaultServeMu.Lock()
+	e := defaultServe
+	defaultServe = nil
+	defaultServeMu.Unlock()
+	if e != nil {
+		e.Close()
+	}
+}

@@ -1,0 +1,76 @@
+package quake
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestSessionFacade drives the Open/Solve/Status/Close handle over the
+// process-wide engine: a first solve cold-builds sf10's artifacts, a
+// reopened session on the same tuple is served warm, and results carry
+// matching fingerprints.
+func TestSessionFacade(t *testing.T) {
+	defer CloseServing()
+
+	s, err := Open(SessionSpec{Scenario: "sf10", PEs: 4})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	st := s.Status()
+	if st.CacheHit {
+		t.Fatal("first Open of a tuple reported a cache hit")
+	}
+
+	res, err := s.Solve(context.Background(), SolveSpec{Tol: 1e-8})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !res.Converged || !res.Certified {
+		t.Fatalf("facade solve: converged=%v certified=%v", res.Converged, res.Certified)
+	}
+	if !res.CacheHit {
+		t.Fatal("session solve did not report the cached artifacts")
+	}
+	if st2 := s.Status(); st2.Solves != 1 || st2.LastIter != res.Iterations {
+		t.Fatalf("status after solve: %+v", st2)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := s.Solve(context.Background(), SolveSpec{}); !errors.Is(err, ErrServeClosed) {
+		t.Fatalf("solve on closed session: %v, want ErrServeClosed", err)
+	}
+
+	// Reopen: same tuple, warm artifacts, identical answer.
+	s2, err := Open(SessionSpec{Scenario: "sf10", PEs: 4})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	if !s2.Status().CacheHit {
+		t.Fatal("reopened tuple was rebuilt instead of served from cache")
+	}
+	res2, err := s2.Solve(context.Background(), SolveSpec{Tol: 1e-8})
+	if err != nil {
+		t.Fatalf("warm solve: %v", err)
+	}
+	if res2.SolutionFP != res.SolutionFP || res2.Fingerprints != res.Fingerprints {
+		t.Fatalf("warm solve diverged: %x vs %x", res2.SolutionFP, res.SolutionFP)
+	}
+}
+
+// TestCloseServingIdempotent: closing twice is safe, and a later Open
+// starts a fresh engine instead of touching the torn-down one.
+func TestCloseServingIdempotent(t *testing.T) {
+	CloseServing()
+	CloseServing()
+	s, err := Open(SessionSpec{Scenario: "sf10", PEs: 2})
+	if err != nil {
+		t.Fatalf("Open after CloseServing: %v, want a fresh engine", err)
+	}
+	if s.Status().CacheHit {
+		t.Fatal("fresh engine reported warm artifacts")
+	}
+	CloseServing()
+}

@@ -1,0 +1,243 @@
+// Command quaked is the warm-pool simulation service: a long-running
+// HTTP/JSON server over internal/serve that caches mesh, partition,
+// schedule, and assembly artifacts per (scenario, p, method, nodesize)
+// tuple and keeps persistent-PE Dist runtimes warm between requests, so
+// repeat solves skip every setup stage and go straight to CG.
+//
+// Usage:
+//
+//	quaked                          # serve on :8090
+//	quaked -addr :9000 -warm 2 -max-concurrent 4
+//	quaked -smoke                   # start, solve twice (cold + cached),
+//	                                # assert the hit counter, shut down
+//
+// The service exposes the full observability surface (Prometheus
+// /metrics, /metrics.json, /flight, expvar, pprof) on the same port;
+// see docs/SERVICE.md for the endpoint reference.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/export"
+	"repro/internal/serve"
+)
+
+// options is the validated CLI configuration, kept separate from flag
+// parsing so tests can drive run() directly.
+type options struct {
+	addr            string
+	maxConcurrent   int
+	maxQueue        int
+	warm            int
+	maxPEs          int
+	maxIter         int
+	maxDeadline     time.Duration
+	checkpointEvery int
+	// smoke runs the self-test instead of serving: two identical solves
+	// against the live server (one cold, one cached), the cache-hit
+	// counters asserted through /metrics.json, then a clean shutdown.
+	smoke         bool
+	smokeScenario string
+	smokePEs      int
+
+	// ready, when non-nil, receives the bound address once the server
+	// is up (non-blocking send). Tests use it to drive the endpoints.
+	ready chan string
+}
+
+// parseOptions binds the flag set. Parse errors are returned after the
+// FlagSet has printed usage to out.
+func parseOptions(args []string, out io.Writer) (*options, error) {
+	opt := &options{}
+	fs := flag.NewFlagSet("quaked", flag.ContinueOnError)
+	fs.SetOutput(out)
+	fs.StringVar(&opt.addr, "addr", ":8090", "listen address (':0' picks a free port)")
+	fs.IntVar(&opt.maxConcurrent, "max-concurrent", 0, "solves executing at once (0 = GOMAXPROCS)")
+	fs.IntVar(&opt.maxQueue, "max-queue", 0, "admitted solves waiting beyond the running ones (0 = default 8); overflow is refused with 429")
+	fs.IntVar(&opt.warm, "warm", 1, "warm workers kept per cached artifact")
+	fs.IntVar(&opt.maxPEs, "max-pes", 0, "per-request PE ceiling (0 = default 128)")
+	fs.IntVar(&opt.maxIter, "max-iter", 0, "hard per-request iteration cap (0 = default 200000)")
+	fs.DurationVar(&opt.maxDeadline, "max-deadline", 0, "per-request wall-budget ceiling, also the default budget (0 = 5m)")
+	fs.IntVar(&opt.checkpointEvery, "checkpoint-every", 0, "solver checkpoint period in CG iterations (0 = default 10); also the progress-event and cancellation granularity")
+	fs.BoolVar(&opt.smoke, "smoke", false, "self-test: start the server, run one cold and one cached solve, assert the cache counters via /metrics.json, shut down")
+	fs.StringVar(&opt.smokeScenario, "smoke-scenario", "sf10", "scenario the -smoke solves use")
+	fs.IntVar(&opt.smokePEs, "smoke-pes", 4, "PE count the -smoke solves use")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(out, "quaked: unexpected arguments: %v\n", fs.Args())
+		fs.Usage()
+		return nil, fmt.Errorf("unexpected arguments")
+	}
+	return opt, nil
+}
+
+// validate enforces the cross-flag rules up front.
+func (opt *options) validate() error {
+	if opt.maxConcurrent < 0 {
+		return fmt.Errorf("-max-concurrent must be >= 0, got %d", opt.maxConcurrent)
+	}
+	if opt.warm < 1 {
+		return fmt.Errorf("-warm must be at least 1, got %d", opt.warm)
+	}
+	if opt.smoke && opt.smokePEs < 1 {
+		return fmt.Errorf("-smoke-pes must be at least 1, got %d", opt.smokePEs)
+	}
+	return nil
+}
+
+func main() {
+	opt, err := parseOptions(os.Args[1:], os.Stderr)
+	if err != nil {
+		os.Exit(2) // the FlagSet already printed the problem and usage
+	}
+	if err := opt.validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "quaked:", err)
+		fmt.Fprintln(os.Stderr, "run 'quaked -h' for usage")
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, opt, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "quaked:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the engine and server, then either serves until ctx is
+// canceled (SIGINT/SIGTERM) or, with -smoke, exercises the server once
+// and exits. Shutdown is graceful either way: the listener closes
+// first, in-flight requests drain, then the warm pools are released.
+func run(ctx context.Context, opt *options, out io.Writer) error {
+	// A service without telemetry is undebuggable; the export surface
+	// shares the listener, so enable the registry unconditionally.
+	obs.SetEnabled(true)
+	eng := serve.NewEngine(serve.Config{
+		MaxConcurrent:   opt.maxConcurrent,
+		MaxQueue:        opt.maxQueue,
+		WarmPool:        opt.warm,
+		MaxPEs:          opt.maxPEs,
+		MaxIter:         opt.maxIter,
+		MaxDeadline:     opt.maxDeadline,
+		CheckpointEvery: opt.checkpointEvery,
+	})
+	defer eng.Close()
+
+	addr, shutdown, err := export.ServeWith(opt.addr, serve.NewMux(eng))
+	if err != nil {
+		return fmt.Errorf("-addr: %w", err)
+	}
+	fmt.Fprintf(out, "quaked: serving on http://%s/ (solves under /v1/, metrics under /metrics)\n", addr)
+	if opt.ready != nil {
+		select {
+		case opt.ready <- addr:
+		default:
+		}
+	}
+
+	if opt.smoke {
+		smokeErr := smoke(addr, opt, out)
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := shutdown(sctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		if smokeErr != nil {
+			return fmt.Errorf("smoke: %w", smokeErr)
+		}
+		fmt.Fprintln(out, "quaked: smoke ok, shut down cleanly")
+		return nil
+	}
+
+	<-ctx.Done()
+	fmt.Fprintln(out, "quaked: signal received, draining")
+	sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := shutdown(sctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	fmt.Fprintln(out, "quaked: shut down cleanly")
+	return nil
+}
+
+// smoke drives the live server through the cache's happy path: the
+// first solve cold-builds the artifacts, the second must be served from
+// the cache — asserted both from the response's cache_hit field and
+// from the serve.cache.{hits,misses} counters scraped off
+// /metrics.json.
+func smoke(addr string, opt *options, out io.Writer) error {
+	base := "http://" + addr
+	body := fmt.Sprintf(`{"scenario":%q,"pes":%d}`, opt.smokeScenario, opt.smokePEs)
+
+	var cold, warm serve.SolveResult
+	if err := postSolve(base, body, &cold); err != nil {
+		return fmt.Errorf("cold solve: %w", err)
+	}
+	if cold.CacheHit {
+		return fmt.Errorf("first solve reported cache_hit=true; expected a cold build")
+	}
+	if !cold.Converged || !cold.Certified {
+		return fmt.Errorf("cold solve: converged=%v certified=%v (cert residual %.3g)",
+			cold.Converged, cold.Certified, cold.CertResidual)
+	}
+	if err := postSolve(base, body, &warm); err != nil {
+		return fmt.Errorf("cached solve: %w", err)
+	}
+	if !warm.CacheHit {
+		return fmt.Errorf("second identical solve reported cache_hit=false; expected a cache hit")
+	}
+	if warm.Fingerprints != cold.Fingerprints {
+		return fmt.Errorf("cached solve served different artifacts: %+v vs %+v",
+			warm.Fingerprints, cold.Fingerprints)
+	}
+	if warm.SolutionFP != cold.SolutionFP {
+		return fmt.Errorf("cached solve diverged: solution fingerprint %x vs %x",
+			warm.SolutionFP, cold.SolutionFP)
+	}
+
+	resp, err := http.Get(base + "/metrics.json")
+	if err != nil {
+		return fmt.Errorf("scraping /metrics.json: %w", err)
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return fmt.Errorf("decoding /metrics.json: %w", err)
+	}
+	hits, misses := snap.Counters["serve.cache.hits"], snap.Counters["serve.cache.misses"]
+	if misses != 1 || hits < 1 {
+		return fmt.Errorf("cache counters off: serve.cache.misses=%d (want 1), serve.cache.hits=%d (want >=1)", misses, hits)
+	}
+	fmt.Fprintf(out, "quaked: smoke %s/p%d cold %.0fms (%d iters) cached %.0fms (%d iters), hits=%d misses=%d\n",
+		opt.smokeScenario, opt.smokePEs, cold.WallMS, cold.Iterations, warm.WallMS, warm.Iterations, hits, misses)
+	return nil
+}
+
+// postSolve runs one POST /v1/solve and decodes the result.
+func postSolve(base, body string, res *serve.SolveResult) error {
+	resp, err := http.Post(base+"/v1/solve", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	return json.NewDecoder(resp.Body).Decode(res)
+}

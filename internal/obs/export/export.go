@@ -75,13 +75,33 @@ const indexPage = `quake observability endpoints:
 // recorder on addr (":0" picks a free port). It returns the bound
 // address and a shutdown function; the server runs until shut down.
 func Serve(addr string) (string, func(context.Context) error, error) {
+	return ServeWith(addr, NewMux(nil, nil))
+}
+
+// ServeWith starts an HTTP server for an arbitrary handler on addr
+// (":0" picks a free port). The returned shutdown function stops
+// accepting connections, waits for in-flight requests to drain (bounded
+// by its context), and surfaces any earlier serve-loop failure that the
+// old fire-and-forget goroutine used to swallow.
+func ServeWith(addr string, h http.Handler) (string, func(context.Context) error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: NewMux(nil, nil)}
-	go srv.Serve(ln)
-	return ln.Addr().String(), srv.Shutdown, nil
+	srv := &http.Server{Handler: h}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	shutdown := func(ctx context.Context) error {
+		err := srv.Shutdown(ctx)
+		// Serve has returned by now (Shutdown closes the listener
+		// first); drain its error so a bind- or accept-loop failure is
+		// not lost.
+		if serr := <-errc; serr != nil && serr != http.ErrServerClosed && err == nil {
+			err = serr
+		}
+		return err
+	}
+	return ln.Addr().String(), shutdown, nil
 }
 
 // WritePrometheus renders a snapshot in the Prometheus text exposition

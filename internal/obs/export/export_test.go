@@ -8,8 +8,10 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/obs"
+	"repro/internal/testutil"
 )
 
 func withEnabled(t *testing.T, f func()) {
@@ -163,5 +165,82 @@ func TestServe(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != 200 {
 		t.Fatalf("GET /metrics via Serve: %d", resp.StatusCode)
+	}
+}
+
+// TestServeWithGracefulDrain pins the shutdown ordering: requests
+// already in flight on /metrics and /flight when shutdown begins must
+// complete with 200 before the shutdown call returns. The middleware
+// holds each handler mid-request until the test observes that shutdown
+// has started.
+func TestServeWithGracefulDrain(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	entered := make(chan string, 2)
+	release := make(chan struct{})
+	inner := NewMux(nil, nil)
+	held := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- r.URL.Path
+		<-release
+		inner.ServeHTTP(w, r)
+	})
+	addr, shutdown, err := ServeWith("127.0.0.1:0", held)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type reply struct {
+		path string
+		code int
+		err  error
+	}
+	replies := make(chan reply, 2)
+	client := &http.Client{}
+	defer client.CloseIdleConnections()
+	for _, path := range []string{"/metrics", "/flight"} {
+		go func(path string) {
+			resp, err := client.Get("http://" + addr + path)
+			if err != nil {
+				replies <- reply{path, 0, err}
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			replies <- reply{path, resp.StatusCode, nil}
+		}(path)
+	}
+	<-entered
+	<-entered // both requests are now in flight, held mid-handler
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		done <- shutdown(ctx)
+	}()
+
+	// Shutdown must wait for the held requests, not kill them.
+	select {
+	case err := <-done:
+		t.Fatalf("shutdown returned (%v) while two requests were still in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("graceful shutdown failed: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		r := <-replies
+		if r.err != nil {
+			t.Fatalf("in-flight %s was dropped during shutdown: %v", r.path, r.err)
+		}
+		if r.code != 200 {
+			t.Fatalf("in-flight %s answered %d after drain, want 200", r.path, r.code)
+		}
+	}
+
+	// New connections are refused once the listener is down.
+	if _, err := client.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("request after shutdown unexpectedly succeeded")
 	}
 }

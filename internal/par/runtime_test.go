@@ -9,6 +9,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/solver"
+	"repro/internal/testutil"
 )
 
 // TestBarrierRounds hammers the generation barrier: every party
@@ -157,6 +158,7 @@ func TestTimingOwnership(t *testing.T) {
 // TestCloseSemantics: Close is idempotent, and every kernel entry point
 // reports the closed state instead of hanging.
 func TestCloseSemantics(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	f := newFixture(t)
 	pt, err := partition.PartitionMesh(f.m, 3, partition.RCB, 7)
 	if err != nil {
@@ -197,6 +199,7 @@ func TestCloseSemantics(t *testing.T) {
 // make every call either complete normally or report the closed state —
 // never hang, race, or panic. Run under -race by `make race`.
 func TestConcurrentCloseDuringKernels(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	f := newFixture(t)
 	pt, err := partition.PartitionMesh(f.m, 4, partition.RCB, 7)
 	if err != nil {

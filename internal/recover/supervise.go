@@ -34,6 +34,13 @@ type SuperviseConfig struct {
 	// this call (the durable-checkpoint resume path); plan events at or
 	// below it are treated as already fired.
 	AdvanceKernels int64
+	// Stop, polled at checkpoint boundaries, ends the supervised solve
+	// when it returns true: Supervise returns the partial outcome with
+	// solver.ErrInterrupted instead of absorbing the interrupt and
+	// resuming. This is how callers impose a wall deadline — unlike
+	// Solver.Interrupt, which the supervisor shares with its own
+	// revive/rebalance signalling and resumes straight through.
+	Stop func() bool
 	// Rebalance arms straggler-driven rebalancing: at every checkpoint
 	// the supervisor reads the per-PE compute accumulators for the
 	// window since the previous checkpoint, and when the hysteresis
@@ -219,6 +226,9 @@ func Supervise(d *par.Dist, sys *System, b, x []float64, cfg SuperviseConfig) (*
 			}
 			prevSnap = cur
 		}
+		if cfg.Stop != nil && cfg.Stop() {
+			return true
+		}
 		if userInt != nil && userInt(iter) {
 			return true
 		}
@@ -255,6 +265,13 @@ func Supervise(d *par.Dist, sys *System, b, x []float64, cfg SuperviseConfig) (*
 		}
 
 		if errors.Is(err, solver.ErrInterrupted) {
+			if cfg.Stop != nil && cfg.Stop() {
+				// The caller asked to stop; hand back the partial state
+				// instead of resuming past the interrupt.
+				out.Result = res
+				out.Kernels = globalIter()
+				return out, err
+			}
 			// Consume every due revive, oldest first.
 			for len(pending) > 0 && pending[0].Iter <= globalIter() {
 				ev := pending[0]

@@ -1,8 +1,9 @@
 package recover
 
 import (
+	"errors"
 	"math"
-	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/solver"
+	"repro/internal/testutil"
 )
 
 // superviseFixtureSolve runs Supervise under the watchdog and returns
@@ -139,7 +141,7 @@ func TestMultiFaultSoak(t *testing.T) {
 	obs.SetEnabled(true)
 	defer obs.SetEnabled(prevEnabled)
 
-	baseline := runtime.NumGoroutine()
+	testutil.VerifyNoLeaks(t)
 
 	f := newFixture(t)
 	const tol = 1e-10
@@ -186,21 +188,10 @@ func TestMultiFaultSoak(t *testing.T) {
 		t.Fatalf("final measured λ = %.3f, soak ended badly imbalanced", out.FinalLambda)
 	}
 
-	// No leaked goroutines once every Dist is closed. Parked PE
-	// goroutines exit asynchronously after Close; allow them a grace
-	// window before declaring a leak.
+	// No leaked goroutines once every Dist is closed — checked by the
+	// VerifyNoLeaks cleanup registered at the top.
 	refD.Close()
 	out.Dist.Close()
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		if g := runtime.NumGoroutine(); g <= baseline {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("goroutines leaked after Close: %d live, baseline %d", runtime.NumGoroutine(), baseline)
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
 }
 
 // TestSupervisePlainSolve: with no plan and no rebalancing, Supervise
@@ -256,4 +247,47 @@ func TestSMVPZeroAllocWithRebalancingArmed(t *testing.T) {
 	if avg := testing.AllocsPerRun(10, run); avg != 0 {
 		t.Errorf("SMVP with rebalancing armed: %.1f allocs/op, want 0", avg)
 	}
+}
+
+// TestSuperviseStop pins the Stop hook: the supervisor must hand back
+// the partial state with ErrInterrupted instead of absorbing the
+// interrupt and resuming — even mid-plan, after a kill has already been
+// absorbed. This is the wall-deadline path the serving layer rides.
+func TestSuperviseStop(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	f := newFixture(t)
+	b := f.rhs()
+	n := len(b)
+
+	pt := f.partition(t, 4)
+	d := f.dist(t, pt)
+	x := make([]float64, n)
+	sys := &System{Mesh: f.m, Material: f.mat, Part: pt, Shift: 20, MassNode: f.sys.MassNode}
+
+	var stop atomic.Bool
+	out, err := Supervise(d, sys, b, x, SuperviseConfig{
+		Solver: solver.Config{
+			MaxIter: 6 * n, Tol: 1e-12, CheckpointEvery: 5,
+			OnCheckpoint: func(st *solver.State) {
+				if st.Iter >= 20 {
+					stop.Store(true)
+				}
+			},
+		},
+		Plan: mustPlan(t, "kill:pe=2,iter=10"),
+		Stop: stop.Load,
+	})
+	if !errors.Is(err, solver.ErrInterrupted) {
+		t.Fatalf("stopped supervise returned %v, want solver.ErrInterrupted", err)
+	}
+	if out.Shrinks != 1 {
+		t.Fatalf("the kill before the stop was not absorbed: shrinks=%d", out.Shrinks)
+	}
+	if out.Result == nil {
+		t.Fatal("stopped supervise carries no partial result")
+	}
+	if out.Result.Converged {
+		t.Fatal("stopped supervise claims convergence")
+	}
+	out.Dist.Close()
 }

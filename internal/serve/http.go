@@ -1,0 +1,275 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/obs/export"
+)
+
+// NewMux returns the service's HTTP surface: the solve and session
+// endpoints under /v1/, a health probe, and the full observability
+// export (metrics, flight recorder, expvar, pprof) on the same mux so
+// one port serves both traffic and introspection.
+func NewMux(e *Engine) *http.ServeMux {
+	mux := http.NewServeMux()
+
+	em := export.NewMux(nil, nil)
+	for _, p := range []string{"/metrics", "/metrics.json", "/flight", "/debug/vars", "/debug/pprof/"} {
+		mux.Handle(p, em)
+	}
+
+	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, serviceIndex)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+
+	mux.HandleFunc("POST /v1/solve", e.handleSolve)
+	mux.HandleFunc("POST /v1/sessions", e.handleSessionOpen)
+	mux.HandleFunc("GET /v1/sessions", e.handleSessionList)
+	mux.HandleFunc("GET /v1/sessions/{id}", e.handleSessionStatus)
+	mux.HandleFunc("POST /v1/sessions/{id}/solve", e.handleSessionSolve)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", e.handleSessionClose)
+	return mux
+}
+
+const serviceIndex = `quaked endpoints:
+  POST   /v1/solve                one-shot solve (set "stream":true for ndjson events)
+  POST   /v1/sessions             open a session {"scenario","pes","method","nodesize"}
+  GET    /v1/sessions             list open sessions
+  GET    /v1/sessions/{id}        session status
+  POST   /v1/sessions/{id}/solve  solve on a session (tuple comes from the session)
+  DELETE /v1/sessions/{id}        close a session (artifacts stay warm)
+  GET    /healthz                 liveness probe
+  /metrics /metrics.json /flight /debug/vars /debug/pprof/   observability
+`
+
+// event is one line of a streamed ndjson solve response.
+type event struct {
+	Event        string        `json:"event"` // accepted | progress | result | error
+	CacheHit     *bool         `json:"cache_hit,omitempty"`
+	Fingerprints *Fingerprints `json:"fingerprints,omitempty"`
+	Iter         int           `json:"iter,omitempty"`
+	Residual     float64       `json:"residual,omitempty"`
+	Result       *SolveResult  `json:"result,omitempty"`
+	Error        string        `json:"error,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// httpError maps an engine error to a status code. A non-nil res rides
+// along as the partial result (a deadline-canceled solve still reports
+// the iterations and residual it reached).
+func httpError(w http.ResponseWriter, res *SolveResult, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrBusy):
+		w.Header().Set("Retry-After", "1")
+		code = http.StatusTooManyRequests
+	case errors.Is(err, ErrBadRequest):
+		code = http.StatusBadRequest
+	case errors.Is(err, ErrCanceled):
+		code = http.StatusRequestTimeout
+	case errors.Is(err, ErrClosed):
+		code = http.StatusConflict
+	}
+	body := struct {
+		Error  string       `json:"error"`
+		Result *SolveResult `json:"result,omitempty"`
+	}{Error: err.Error(), Result: res}
+	writeJSON(w, code, body)
+}
+
+// handleSolve serves POST /v1/solve: one anonymous solve through the
+// shared artifact cache, streamed or not.
+func (e *Engine) handleSolve(w http.ResponseWriter, r *http.Request) {
+	req, err := DecodeSolveRequest(r.Body)
+	if err != nil {
+		httpError(w, nil, err)
+		return
+	}
+	spec, sess, err := req.split()
+	if err != nil {
+		httpError(w, nil, err)
+		return
+	}
+	k, err := sess.key(e.cfg)
+	if err != nil {
+		httpError(w, nil, err)
+		return
+	}
+	// Resolve (or cold-build) the artifacts before committing to a
+	// response shape, so an unknown scenario is a clean 400 even on a
+	// streaming request.
+	art, hit, err := e.artifact(k)
+	if err != nil {
+		httpError(w, nil, err)
+		return
+	}
+	if req.Stream {
+		e.streamSolve(w, r, art, hit, spec)
+		return
+	}
+	res, err := e.solveOn(r.Context(), art, hit, spec)
+	if err != nil {
+		httpError(w, res, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// streamSolve runs one solve while emitting newline-delimited JSON
+// events over a chunked response: an accepted header, a progress line
+// per checkpoint, and a final result or error line.
+func (e *Engine) streamSolve(w http.ResponseWriter, r *http.Request, a *artifact, hit bool, spec SolveSpec) {
+	fl, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	emit := func(ev event) {
+		enc.Encode(ev)
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+	fp := a.fp
+	emit(event{Event: "accepted", CacheHit: &hit, Fingerprints: &fp})
+	spec.OnProgress = func(p Progress) {
+		emit(event{Event: "progress", Iter: p.Iter, Residual: p.Residual})
+	}
+	res, err := e.solveOn(r.Context(), a, hit, spec)
+	if err != nil {
+		emit(event{Event: "error", Error: err.Error(), Result: res})
+		return
+	}
+	emit(event{Event: "result", Result: res})
+}
+
+// handleSessionOpen serves POST /v1/sessions.
+func (e *Engine) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	var spec SessionSpec
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, nil, fmt.Errorf("%w: %w", ErrBadRequest, err))
+		return
+	}
+	s, err := e.Open(spec)
+	if err != nil {
+		httpError(w, nil, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, s.Status())
+}
+
+// handleSessionList serves GET /v1/sessions.
+func (e *Engine) handleSessionList(w http.ResponseWriter, r *http.Request) {
+	ids := e.Sessions()
+	statuses := make([]Status, 0, len(ids))
+	for _, id := range ids {
+		if s, ok := e.Session(id); ok {
+			statuses = append(statuses, s.Status())
+		}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Sessions []Status `json:"sessions"`
+	}{statuses})
+}
+
+// handleSessionStatus serves GET /v1/sessions/{id}.
+func (e *Engine) handleSessionStatus(w http.ResponseWriter, r *http.Request) {
+	s, ok := e.Session(r.PathValue("id"))
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Status())
+}
+
+// handleSessionSolve serves POST /v1/sessions/{id}/solve. The request
+// carries only per-solve fields; the tuple comes from the session, so
+// naming scenario/pes/method/nodesize in the body is an error.
+func (e *Engine) handleSessionSolve(w http.ResponseWriter, r *http.Request) {
+	s, ok := e.Session(r.PathValue("id"))
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	req := &SolveRequest{}
+	if err := dec.Decode(req); err != nil {
+		httpError(w, nil, fmt.Errorf("%w: %w", ErrBadRequest, err))
+		return
+	}
+	if req.Scenario != "" || req.PEs != 0 || req.Method != "" || req.NodeSize != 0 {
+		httpError(w, nil, fmt.Errorf("%w: session solve must not name scenario/pes/method/nodesize", ErrBadRequest))
+		return
+	}
+	k := s.Key()
+	req.Scenario, req.PEs, req.Method, req.NodeSize = k.Scenario, k.P, k.Method, k.NodeSize
+	if err := req.Validate(); err != nil {
+		httpError(w, nil, err)
+		return
+	}
+	spec, _, err := req.split()
+	if err != nil {
+		httpError(w, nil, err)
+		return
+	}
+	if req.Stream {
+		fl, _ := w.(http.Flusher)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		enc := json.NewEncoder(w)
+		emit := func(ev event) {
+			enc.Encode(ev)
+			if fl != nil {
+				fl.Flush()
+			}
+		}
+		hit := true
+		fp := s.Fingerprints()
+		emit(event{Event: "accepted", CacheHit: &hit, Fingerprints: &fp})
+		spec.OnProgress = func(p Progress) {
+			emit(event{Event: "progress", Iter: p.Iter, Residual: p.Residual})
+		}
+		res, err := s.Solve(r.Context(), spec)
+		if err != nil {
+			emit(event{Event: "error", Error: err.Error(), Result: res})
+			return
+		}
+		emit(event{Event: "result", Result: res})
+		return
+	}
+	res, err := s.Solve(r.Context(), spec)
+	if err != nil {
+		httpError(w, res, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleSessionClose serves DELETE /v1/sessions/{id}.
+func (e *Engine) handleSessionClose(w http.ResponseWriter, r *http.Request) {
+	s, ok := e.Session(r.PathValue("id"))
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	s.Close()
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/partition"
+)
+
+// Request limits, enforced by DecodeSolveRequest regardless of engine
+// configuration — the decoder faces untrusted input and is fuzzed.
+const (
+	// maxRequestBytes bounds a request body.
+	maxRequestBytes = 1 << 20
+	// maxRequestPEs bounds the requested partition width.
+	maxRequestPEs = 1024
+	// maxRequestIters bounds the requested iteration budget.
+	maxRequestIters = 10_000_000
+	// maxRequestDeadlineMS bounds the requested wall budget (24h).
+	maxRequestDeadlineMS = 24 * 60 * 60 * 1000
+	// maxFaultPlanLen bounds the fault-plan string.
+	maxFaultPlanLen = 4096
+)
+
+// SolveRequest is the wire form of one solve: the session tuple plus
+// the per-solve parameters and budgets. It is decoded strictly —
+// unknown fields, out-of-range values, malformed fault plans, and
+// non-finite numbers are all refused before any work starts.
+type SolveRequest struct {
+	Scenario string `json:"scenario"`
+	PEs      int    `json:"pes"`
+	Method   string `json:"method,omitempty"`
+	NodeSize int    `json:"nodesize,omitempty"`
+
+	RHSSeed    int64   `json:"rhs_seed,omitempty"`
+	Shift      float64 `json:"shift,omitempty"`
+	Tol        float64 `json:"tol,omitempty"`
+	MaxIters   int     `json:"max_iters,omitempty"`
+	DeadlineMS int64   `json:"deadline_ms,omitempty"`
+	Faults     string  `json:"faults,omitempty"`
+	// Stream asks the HTTP layer for chunked newline-delimited JSON
+	// progress events instead of one response document.
+	Stream bool `json:"stream,omitempty"`
+}
+
+// split separates a validated request into the session tuple and the
+// per-solve spec.
+func (r *SolveRequest) split() (SolveSpec, SessionSpec, error) {
+	sess := SessionSpec{Scenario: r.Scenario, PEs: r.PEs, Method: r.Method, NodeSize: r.NodeSize}
+	spec := SolveSpec{
+		RHSSeed:  r.RHSSeed,
+		Shift:    r.Shift,
+		Tol:      r.Tol,
+		MaxIter:  r.MaxIters,
+		Deadline: time.Duration(r.DeadlineMS) * time.Millisecond,
+		Faults:   r.Faults,
+	}
+	return spec, sess, nil
+}
+
+// DecodeSolveRequest reads and validates one JSON solve request. The
+// decoder is strict: unknown fields are errors, numeric fields are
+// bounds-checked against the package limits (engine configuration may
+// clamp further), the scenario and method names must resolve, and a
+// fault plan must parse and fit the requested width. A nil error
+// guarantees the request is structurally safe to execute.
+func DecodeSolveRequest(r io.Reader) (*SolveRequest, error) {
+	dec := json.NewDecoder(io.LimitReader(r, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	req := &SolveRequest{}
+	if err := dec.Decode(req); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadRequest, err)
+	}
+	// Exactly one JSON document.
+	if dec.More() {
+		return nil, fmt.Errorf("%w: trailing data after the request document", ErrBadRequest)
+	}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// Validate bounds-checks every field of the request.
+func (r *SolveRequest) Validate() error {
+	if r.Scenario == "" {
+		return fmt.Errorf("%w: scenario is required", ErrBadRequest)
+	}
+	if len(r.Scenario) > 64 {
+		return fmt.Errorf("%w: scenario name longer than 64 bytes", ErrBadRequest)
+	}
+	// The scenario name is checked structurally only; whether it
+	// resolves is the engine resolver's call (ErrBadRequest at build).
+	if r.PEs < 1 || r.PEs > maxRequestPEs {
+		return fmt.Errorf("%w: pes %d outside [1,%d]", ErrBadRequest, r.PEs, maxRequestPEs)
+	}
+	if r.Method != "" {
+		if _, err := partition.MethodByName(r.Method); err != nil {
+			return fmt.Errorf("%w: %w", ErrBadRequest, err)
+		}
+	}
+	if r.NodeSize < 0 || (r.NodeSize > 1 && r.NodeSize > r.PEs) {
+		return fmt.Errorf("%w: nodesize %d outside [0,pes=%d]", ErrBadRequest, r.NodeSize, r.PEs)
+	}
+	if !isFinite(r.Shift) || r.Shift < 0 || r.Shift > 1e12 {
+		return fmt.Errorf("%w: shift %g outside [0,1e12]", ErrBadRequest, r.Shift)
+	}
+	if !isFinite(r.Tol) || r.Tol < 0 || r.Tol >= 1 {
+		return fmt.Errorf("%w: tol %g outside [0,1)", ErrBadRequest, r.Tol)
+	}
+	if r.Tol != 0 && r.Tol < 1e-15 {
+		return fmt.Errorf("%w: tol %g below 1e-15", ErrBadRequest, r.Tol)
+	}
+	if r.MaxIters < 0 || r.MaxIters > maxRequestIters {
+		return fmt.Errorf("%w: max_iters %d outside [0,%d]", ErrBadRequest, r.MaxIters, maxRequestIters)
+	}
+	if r.DeadlineMS < 0 || r.DeadlineMS > maxRequestDeadlineMS {
+		return fmt.Errorf("%w: deadline_ms %d outside [0,%d]", ErrBadRequest, r.DeadlineMS, maxRequestDeadlineMS)
+	}
+	if len(r.Faults) > maxFaultPlanLen {
+		return fmt.Errorf("%w: fault plan longer than %d bytes", ErrBadRequest, maxFaultPlanLen)
+	}
+	if r.Faults != "" {
+		plan, err := fault.Parse(r.Faults)
+		if err != nil {
+			return fmt.Errorf("%w: %w", ErrBadRequest, err)
+		}
+		if err := plan.Validate(r.PEs); err != nil {
+			return fmt.Errorf("%w: %w", ErrBadRequest, err)
+		}
+	}
+	return nil
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

@@ -1,0 +1,283 @@
+// Package serve is the warm-pool simulation service: the paper's
+// central economics — amortize expensive irregular setup (mesh,
+// partition, schedule, assembly) across many cheap solve steps — cast
+// as a long-running server instead of a rebuild-the-world CLI run.
+//
+// An Engine keeps two tiers of warm state. The artifact cache maps a
+// deterministic request tuple (scenario, p, method, nodesize) to the
+// built mesh/partition/profile/schedule/assembly, keyed and reported
+// via the internal/regress FNV-1a fingerprints, so a repeat solve for
+// a known tuple skips every setup stage and goes straight to CG. Each
+// artifact owns a bounded pool of warm workers — persistent-PE Dist
+// runtimes plus preallocated CG workspaces — checked out per solve and
+// returned afterwards, so steady-state requests spawn no goroutines
+// and reuse the exchange buffers built on the first request.
+//
+// Admission is bounded: MaxConcurrent solves run, MaxQueue more may
+// wait, and anything beyond that is refused immediately (ErrBusy; the
+// HTTP layer answers 429). Each request carries budgets — an iteration
+// cap and a wall deadline enforced via context at the solver's
+// checkpoint boundaries — and kill/revive fault plans route through
+// recover.Supervise so a faulted pool member heals without dropping
+// the session. See docs/SERVICE.md.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	iq "repro/internal/quake"
+)
+
+// ErrBusy reports that the admission queue is full: MaxConcurrent
+// solves are running and MaxQueue more are already waiting. The HTTP
+// layer maps it to 429 Too Many Requests.
+var ErrBusy = errors.New("serve: admission queue full")
+
+// ErrClosed reports an operation on a closed engine or session.
+var ErrClosed = errors.New("serve: closed")
+
+// ErrCanceled reports a solve stopped by its wall deadline or by the
+// caller's context at a checkpoint boundary. The partial SolveResult
+// accompanying it is valid; the worker returns to the pool healthy.
+var ErrCanceled = errors.New("serve: solve canceled")
+
+// ErrBadRequest marks request errors the client can fix — unknown
+// scenario or method names, out-of-range budgets, malformed fault
+// plans. The HTTP layer maps it to 400 Bad Request.
+var ErrBadRequest = errors.New("serve: bad request")
+
+// Config tunes an Engine. The zero value gets sensible defaults.
+type Config struct {
+	// MaxConcurrent bounds solves executing at once (default
+	// max(2, GOMAXPROCS)).
+	MaxConcurrent int
+	// MaxQueue bounds solves waiting for a slot beyond the running
+	// ones; admission past MaxConcurrent+MaxQueue fails with ErrBusy
+	// (default 8). Negative means no waiting room at all.
+	MaxQueue int
+	// WarmPool is the number of warm workers kept per artifact
+	// (default 1). Checkouts beyond it build transient workers that
+	// are closed on release instead of pooled.
+	WarmPool int
+	// MaxPEs bounds the per-request PE count (default 128).
+	MaxPEs int
+	// MaxIter is the hard per-request iteration cap; request budgets
+	// clamp to it (default 200000).
+	MaxIter int
+	// MaxDeadline caps the per-request wall budget (default 5m); it is
+	// also the budget applied when a request names none.
+	MaxDeadline time.Duration
+	// CheckpointEvery is the solver checkpoint period, which is also
+	// the granularity of progress events and deadline cancellation
+	// (default 10 CG iterations).
+	CheckpointEvery int
+	// Scenarios resolves a scenario name (default quake.ByName). Tests
+	// inject tiny meshes here.
+	Scenarios func(name string) (iq.Scenario, error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+		if c.MaxConcurrent < 2 {
+			c.MaxConcurrent = 2
+		}
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 8
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	if c.WarmPool <= 0 {
+		c.WarmPool = 1
+	}
+	if c.MaxPEs <= 0 {
+		c.MaxPEs = 128
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = 200000
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 5 * time.Minute
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 10
+	}
+	if c.Scenarios == nil {
+		c.Scenarios = iq.ByName
+	}
+	return c
+}
+
+// Engine is the serving core shared by the HTTP surface (NewMux) and
+// the in-process session facade (Open). One engine per process is the
+// intended shape; all its state is concurrency-safe.
+type Engine struct {
+	cfg Config
+
+	// slots bounds admitted requests (running + queued); sem bounds
+	// the running ones.
+	slots chan struct{}
+	sem   chan struct{}
+
+	mu       sync.Mutex
+	entries  map[Key]*entry
+	sessions map[string]*Session
+	nextID   int64
+	closed   bool
+
+	// holdSolve, when non-nil, is called inside every admitted solve
+	// before the solver starts — a test hook to hold requests in
+	// flight deterministically.
+	holdSolve func()
+	// slowCheckpoint, when non-nil, is called at every solver
+	// checkpoint — a test hook to stretch a solve's wall time so
+	// deadline budgets fire deterministically.
+	slowCheckpoint func(iter int)
+}
+
+// NewEngine builds an Engine; Close releases its pooled runtimes.
+func NewEngine(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	return &Engine{
+		cfg:      cfg,
+		slots:    make(chan struct{}, cfg.MaxConcurrent+cfg.MaxQueue),
+		sem:      make(chan struct{}, cfg.MaxConcurrent),
+		entries:  make(map[Key]*entry),
+		sessions: make(map[string]*Session),
+	}
+}
+
+// admit reserves a solve slot, waiting in the bounded queue when all
+// runners are busy. It fails fast with ErrBusy when the queue is full
+// and with the context error when the caller gives up while queued.
+// The returned release must be called exactly once.
+func (e *Engine) admit(ctx context.Context) (release func(), err error) {
+	select {
+	case e.slots <- struct{}{}:
+	default:
+		admitRejected.Add(1)
+		return nil, ErrBusy
+	}
+	queueDepth.Set(float64(len(e.slots) - len(e.sem)))
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		<-e.slots
+		queueDepth.Set(float64(len(e.slots) - len(e.sem)))
+		return nil, ctx.Err()
+	}
+	inflight.Set(float64(len(e.sem)))
+	queueDepth.Set(float64(len(e.slots) - len(e.sem)))
+	return func() {
+		<-e.sem
+		<-e.slots
+		inflight.Set(float64(len(e.sem)))
+		queueDepth.Set(float64(len(e.slots) - len(e.sem)))
+	}, nil
+}
+
+// Open creates a session bound to the spec's cached artifacts,
+// building them on first use. The session handle is cheap: the heavy
+// state lives in the engine's cache and outlives the session, so
+// closing and reopening the same tuple stays warm.
+func (e *Engine) Open(spec SessionSpec) (*Session, error) {
+	k, err := spec.key(e.cfg)
+	if err != nil {
+		return nil, err
+	}
+	art, hit, err := e.artifact(k)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	e.nextID++
+	s := &Session{
+		id:       fmt.Sprintf("s%08d", e.nextID),
+		eng:      e,
+		art:      art,
+		cacheHit: hit,
+		opened:   time.Now(),
+	}
+	e.sessions[s.id] = s
+	e.mu.Unlock()
+	sessionsOpened.Add(1)
+	return s, nil
+}
+
+// Session returns the open session with the given id.
+func (e *Engine) Session(id string) (*Session, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.sessions[id]
+	return s, ok
+}
+
+// Sessions returns the ids of the open sessions, unordered.
+func (e *Engine) Sessions() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ids := make([]string, 0, len(e.sessions))
+	for id := range e.sessions {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// Solve runs one solve without an explicit session: the artifacts are
+// resolved (or built) through the same cache, so anonymous one-shot
+// requests and session solves share warmth.
+func (e *Engine) Solve(ctx context.Context, req *SolveRequest) (*SolveResult, error) {
+	spec, sess, err := req.split()
+	if err != nil {
+		return nil, err
+	}
+	k, err := sess.key(e.cfg)
+	if err != nil {
+		return nil, err
+	}
+	art, hit, err := e.artifact(k)
+	if err != nil {
+		return nil, err
+	}
+	return e.solveOn(ctx, art, hit, spec)
+}
+
+// Close shuts the engine: every session is closed and every pooled
+// worker's Dist released. In-flight solves finish on their checked-out
+// workers, which are then discarded rather than pooled.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	sessions := make([]*Session, 0, len(e.sessions))
+	for _, s := range e.sessions {
+		sessions = append(sessions, s)
+	}
+	entries := make([]*entry, 0, len(e.entries))
+	for _, en := range e.entries {
+		entries = append(entries, en)
+	}
+	e.mu.Unlock()
+	for _, s := range sessions {
+		s.Close()
+	}
+	for _, en := range entries {
+		if en.art != nil {
+			en.art.close()
+		}
+	}
+}

@@ -1,0 +1,41 @@
+// Package testutil holds shared test helpers. It is imported only from
+// _test files; nothing here ships in a binary.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// VerifyNoLeaks records the current goroutine count and registers a
+// cleanup that fails the test if the count has not returned to the
+// baseline by the end. Parked goroutines (PE runtimes, HTTP servers)
+// exit asynchronously after Close, so the check polls with a grace
+// window instead of sampling once.
+//
+// Call it first in the test, before anything that spawns goroutines:
+//
+//	func TestX(t *testing.T) {
+//		testutil.VerifyNoLeaks(t)
+//		...
+//	}
+func VerifyNoLeaks(t *testing.T) {
+	t.Helper()
+	baseline := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if g := runtime.NumGoroutine(); g <= baseline {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("goroutines leaked: %d live, baseline %d\n%s",
+					runtime.NumGoroutine(), baseline, buf[:n])
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	})
+}
