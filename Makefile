@@ -3,7 +3,7 @@
 GO ?= go
 BENCH_DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: all build vet test race bench bench-json bench-smoke fuzz-smoke soak-smoke serve-smoke cover ci repro examples clean
+.PHONY: all build vet test race bench bench-json bench-smoke fuzz-smoke soak-smoke serve-smoke serve-chaos cover ci repro examples clean
 
 # Benchmarks must run at the host's full width: a throttled GOMAXPROCS
 # makes every parallel benchmark meaningless (the PE goroutines
@@ -29,9 +29,9 @@ race:
 # floor), plus the race detector on the concurrency-heavy packages, plus
 # a one-iteration benchmark smoke run so the kernel entry points cannot
 # silently rot, plus a few seconds of fuzzing on the parsers that face
-# untrusted input, plus the elastic-recovery chaos soak and the quaked
-# service smoke.
-ci: build vet cover race bench-smoke fuzz-smoke soak-smoke serve-smoke
+# untrusted input, plus the elastic-recovery chaos soak, the quaked
+# service smoke, and the durable-job chaos drill.
+ci: build vet cover race bench-smoke fuzz-smoke soak-smoke serve-smoke serve-chaos
 
 # Total statement coverage must not sink below the floor (measured
 # 88.1% when the gate was introduced; the margin absorbs run-to-run
@@ -79,6 +79,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzParsePlan -fuzztime=5s ./internal/fault/
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeCheckpoint -fuzztime=5s ./internal/recover/
 	$(GO) test -run='^$$' -fuzz=FuzzSolveRequest -fuzztime=5s ./internal/serve/
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeJournal -fuzztime=5s ./internal/serve/
 
 # The elastic-recovery chaos soak: an actual quakesim run that loses a
 # PE mid-solve, shrinks to the survivors, revives the slot, regrows to
@@ -100,6 +101,15 @@ soak-smoke:
 # just in unit tests (see docs/SERVICE.md).
 serve-smoke:
 	$(GO) run ./cmd/quaked -addr 127.0.0.1:0 -smoke
+
+# The durable-job chaos drill: a solve with a kill fault and migrate
+# recovery is submitted over HTTP with an idempotency key, the whole
+# engine is torn down mid-solve after at least one migration and one
+# durable checkpoint, and a second engine on the same journal replays
+# the job and finishes it from the checkpoint — crash-safety of the
+# jobs WAL exercised as a binary (see docs/RELIABILITY.md).
+serve-chaos:
+	$(GO) run ./cmd/quaked -chaos -smoke-pes 4
 
 # One-shot figure regeneration without the benchmark harness.
 repro:

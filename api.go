@@ -484,6 +484,9 @@ type (
 	SolveOutcome = serve.SolveResult
 	// SolveProgress is one residual progress sample.
 	SolveProgress = serve.Progress
+	// JobStatus is a durable job's point-in-time public state: lifecycle
+	// state, attempts, migrations, checkpoint iteration.
+	JobStatus = serve.JobStatus
 )
 
 // Serving errors, for errors.Is against Session and engine results.
@@ -494,7 +497,9 @@ var (
 )
 
 // NewServeEngine builds a serving engine; Close releases its pools.
-func NewServeEngine(cfg ServeConfig) *ServeEngine { return serve.NewEngine(cfg) }
+// The error is the job journal's (ServeConfig.JournalDir); an engine
+// without one cannot fail.
+func NewServeEngine(cfg ServeConfig) (*ServeEngine, error) { return serve.NewEngine(cfg) }
 
 // ServeMux returns the quaked HTTP surface for an engine: /v1/ solve
 // and session endpoints plus the full observability export.
@@ -514,7 +519,8 @@ func Open(spec SessionSpec) (*Session, error) {
 	defaultServeMu.Lock()
 	if defaultServe == nil {
 		obs.SetEnabled(true)
-		defaultServe = serve.NewEngine(serve.Config{})
+		// No JournalDir → the constructor cannot fail.
+		defaultServe, _ = serve.NewEngine(serve.Config{})
 	}
 	e := defaultServe
 	defaultServeMu.Unlock()

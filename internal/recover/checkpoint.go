@@ -339,6 +339,72 @@ func (s *Store) Latest() (*Checkpoint, string, error) {
 	return nil, "", fmt.Errorf("recover: no checkpoint in %s: %w", s.dir, os.ErrNotExist)
 }
 
+// Prune deletes the oldest checkpoints beyond the newest keep and any
+// stale .tmp leftovers, returning how many files it removed. Nothing
+// else ever deletes a checkpoint, so a long solve that snapshots every
+// few iterations calls this after each Save to hold its on-disk tail
+// to a bounded window (the newest file is all a resume ever reads;
+// the window behind it only buys tolerance to a torn latest write).
+func (s *Store) Prune(keep int) (int, error) {
+	if keep < 1 {
+		keep = 1
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, fmt.Errorf("recover: checkpoint dir: %w", err)
+	}
+	var names []string
+	removed := 0
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		switch filepath.Ext(e.Name()) {
+		case ".qck":
+			names = append(names, e.Name())
+		case ".tmp":
+			// A crash between CreateTemp and Rename strands the temp
+			// file; it can never be read, only accumulate.
+			if os.Remove(filepath.Join(s.dir, e.Name())) == nil {
+				removed++
+			}
+		}
+	}
+	// Zero-padded iteration numbers sort lexically: ascending order is
+	// oldest-first, and everything before the last keep names goes.
+	sort.Strings(names)
+	for i := 0; i < len(names)-keep; i++ {
+		if err := os.Remove(filepath.Join(s.dir, names[i])); err != nil {
+			return removed, fmt.Errorf("recover: pruning checkpoint: %w", err)
+		}
+		removed++
+	}
+	if removed > 0 {
+		obs.GetCounter("recover.checkpoint.pruned").Add(int64(removed))
+	}
+	return removed, nil
+}
+
+// SizeBytes reports the total bytes the store currently holds on disk
+// (checkpoints plus any stranded temp files) — the number a retention
+// budget compares against.
+func (s *Store) SizeBytes() (int64, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, fmt.Errorf("recover: checkpoint dir: %w", err)
+	}
+	var total int64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if info, err := e.Info(); err == nil {
+			total += info.Size()
+		}
+	}
+	return total, nil
+}
+
 func min(a, b int) int {
 	if a < b {
 		return a

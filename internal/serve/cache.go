@@ -13,6 +13,7 @@ import (
 	"repro/internal/par"
 	"repro/internal/partition"
 	iq "repro/internal/quake"
+	rec "repro/internal/recover"
 	"repro/internal/regress"
 	"repro/internal/solver"
 )
@@ -97,7 +98,11 @@ type artifact struct {
 	key  Key
 	fp   Fingerprints
 	mesh *mesh.Mesh
-	mat  *material.Model
+	// meshID is the recover-layer checkpoint identity of the mesh; a
+	// durable checkpoint written against a different mesh is refused at
+	// resume.
+	meshID uint64
+	mat    *material.Model
 	// massNode is the assembled lumped mass (per mesh node), the
 	// diagonal the shifted CG operator adds.
 	massNode []float64
@@ -184,9 +189,10 @@ func (e *Engine) build(k Key) (*artifact, error) {
 		return nil, fmt.Errorf("serve: assembling %s: %w", k.Scenario, err)
 	}
 	a := &artifact{
-		key:  k,
-		mesh: m,
-		mat:  mat,
+		key:    k,
+		mesh:   m,
+		meshID: rec.MeshID(m),
+		mat:    mat,
 		// The mesh and massNode are shared across all workers and
 		// solves; both are treated as immutable from here on.
 		massNode: sys.MassNode,

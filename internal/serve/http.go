@@ -1,19 +1,23 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
+	"time"
 
 	"repro/internal/obs/export"
 )
 
-// NewMux returns the service's HTTP surface: the solve and session
-// endpoints under /v1/, a health probe, and the full observability
-// export (metrics, flight recorder, expvar, pprof) on the same mux so
-// one port serves both traffic and introspection.
+// NewMux returns the service's HTTP surface: the solve, job, and
+// session endpoints under /v1/, a health probe, and the full
+// observability export (metrics, flight recorder, expvar, pprof) on
+// the same mux so one port serves both traffic and introspection.
 func NewMux(e *Engine) *http.ServeMux {
 	mux := http.NewServeMux()
 
@@ -32,6 +36,9 @@ func NewMux(e *Engine) *http.ServeMux {
 	})
 
 	mux.HandleFunc("POST /v1/solve", e.handleSolve)
+	mux.HandleFunc("GET /v1/jobs", e.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", e.handleJobStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", e.handleJobEvents)
 	mux.HandleFunc("POST /v1/sessions", e.handleSessionOpen)
 	mux.HandleFunc("GET /v1/sessions", e.handleSessionList)
 	mux.HandleFunc("GET /v1/sessions/{id}", e.handleSessionStatus)
@@ -41,7 +48,12 @@ func NewMux(e *Engine) *http.ServeMux {
 }
 
 const serviceIndex = `quaked endpoints:
-  POST   /v1/solve                one-shot solve (set "stream":true for ndjson events)
+  POST   /v1/solve                one-shot solve; every accepted solve is a durable job
+                                  ("stream":true for ndjson events, "detach":true for 202 + job id,
+                                   "idempotency_key" to make retries safe)
+  GET    /v1/jobs                 list tracked jobs
+  GET    /v1/jobs/{id}            job status (state, attempts, migrations, checkpoint iter)
+  GET    /v1/jobs/{id}/events     ndjson event stream, resumable with ?from=<seq>
   POST   /v1/sessions             open a session {"scenario","pes","method","nodesize"}
   GET    /v1/sessions             list open sessions
   GET    /v1/sessions/{id}        session status
@@ -51,9 +63,14 @@ const serviceIndex = `quaked endpoints:
   /metrics /metrics.json /flight /debug/vars /debug/pprof/   observability
 `
 
-// event is one line of a streamed ndjson solve response.
+// event is one line of a streamed ndjson solve response. Seq numbers
+// the job's events from 1 so an interrupted stream resumes with
+// ?from=<last seq + 1> (or "from_event" in the request body) without
+// gaps or replays.
 type event struct {
-	Event        string        `json:"event"` // accepted | progress | result | error
+	Event        string        `json:"event"` // accepted | progress | migrated | result | error
+	Seq          int64         `json:"seq,omitempty"`
+	JobID        string        `json:"job_id,omitempty"`
 	CacheHit     *bool         `json:"cache_hit,omitempty"`
 	Fingerprints *Fingerprints `json:"fingerprints,omitempty"`
 	Iter         int           `json:"iter,omitempty"`
@@ -77,7 +94,9 @@ func httpError(w http.ResponseWriter, res *SolveResult, err error) {
 	code := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, ErrBusy):
-		w.Header().Set("Retry-After", "1")
+		// Jittered so a synchronized client herd that all hit the full
+		// queue does not re-stampede admission on the same second.
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds()))
 		code = http.StatusTooManyRequests
 	case errors.Is(err, ErrBadRequest):
 		code = http.StatusBadRequest
@@ -93,8 +112,13 @@ func httpError(w http.ResponseWriter, res *SolveResult, err error) {
 	writeJSON(w, code, body)
 }
 
+// retryAfterSeconds draws the jittered Retry-After value (1..3).
+func retryAfterSeconds() int { return 1 + rand.Intn(3) }
+
 // handleSolve serves POST /v1/solve: one anonymous solve through the
-// shared artifact cache, streamed or not.
+// shared artifact cache. Every accepted solve is a durable job; the
+// response shape follows the request — a single document, an ndjson
+// event stream, or (detached) 202 with the job status to poll.
 func (e *Engine) handleSolve(w http.ResponseWriter, r *http.Request) {
 	req, err := DecodeSolveRequest(r.Body)
 	if err != nil {
@@ -119,43 +143,123 @@ func (e *Engine) handleSolve(w http.ResponseWriter, r *http.Request) {
 		httpError(w, nil, err)
 		return
 	}
-	if req.Stream {
-		e.streamSolve(w, r, art, hit, spec)
-		return
-	}
-	res, err := e.solveOn(r.Context(), art, hit, spec)
+	aj, dup, err := e.acceptJob(art, hit, spec, req)
 	if err != nil {
-		httpError(w, res, err)
+		httpError(w, nil, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, res)
+	j := dup
+	if aj != nil {
+		j = aj.job
+	}
+	switch {
+	case req.Stream:
+		// The job runs detached from the connection: a dropped stream
+		// does not kill the solve, and the client resumes the event
+		// feed at GET /v1/jobs/{id}/events?from=<seq> (or by retrying
+		// with the same idempotency key and "from_event").
+		if aj != nil {
+			go aj.run(context.Background())
+		}
+		e.streamJob(w, r, j, req.FromEvent)
+	case req.Detach:
+		if aj != nil {
+			go aj.run(context.Background())
+		}
+		writeJSON(w, http.StatusAccepted, j.Status())
+	default:
+		var res *SolveResult
+		if aj != nil {
+			res, err = aj.run(r.Context())
+		} else {
+			res, err = j.await(r.Context(), e.closing)
+		}
+		if err != nil {
+			httpError(w, res, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	}
 }
 
-// streamSolve runs one solve while emitting newline-delimited JSON
-// events over a chunked response: an accepted header, a progress line
-// per checkpoint, and a final result or error line.
-func (e *Engine) streamSolve(w http.ResponseWriter, r *http.Request, a *artifact, hit bool, spec SolveSpec) {
+// handleJobList serves GET /v1/jobs.
+func (e *Engine) handleJobList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []JobStatus `json:"jobs"`
+	}{e.Jobs()})
+}
+
+// handleJobStatus serves GET /v1/jobs/{id}.
+func (e *Engine) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	st, ok := e.Job(r.PathValue("id"))
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleJobEvents serves GET /v1/jobs/{id}/events?from=<seq>: the
+// job's ndjson event feed from the given sequence number (default 1),
+// held open until the job reaches a terminal state.
+func (e *Engine) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := e.jobs.lookup(r.PathValue("id"))
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	var from int64
+	if q := r.URL.Query().Get("from"); q != "" {
+		v, err := strconv.ParseInt(q, 10, 64)
+		if err != nil || v < 0 {
+			httpError(w, nil, fmt.Errorf("%w: from %q", ErrBadRequest, q))
+			return
+		}
+		from = v
+	}
+	e.streamJob(w, r, j, from)
+}
+
+// streamJob writes a job's events as chunked ndjson from the given
+// sequence number until the terminal event has been delivered, the
+// client goes away, or the engine closes (a parked durable job's
+// stream ends without a terminal line — the client resumes against
+// the restarted process).
+func (e *Engine) streamJob(w http.ResponseWriter, r *http.Request, j *Job, from int64) {
 	fl, _ := w.(http.Flusher)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
-	emit := func(ev event) {
-		enc.Encode(ev)
-		if fl != nil {
+	if from < 1 {
+		from = 1
+	}
+	cursor := from
+	for {
+		evs, terminal := j.eventsFrom(cursor)
+		for _, ev := range evs {
+			enc.Encode(ev)
+			cursor = ev.Seq + 1
+		}
+		if len(evs) > 0 && fl != nil {
 			fl.Flush()
 		}
+		if terminal {
+			if more, _ := j.eventsFrom(cursor); len(more) == 0 {
+				return
+			}
+			continue
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-e.closing:
+			return
+		case <-j.done:
+			// Drain whatever the finisher emitted, then the terminal
+			// check above ends the stream.
+		case <-time.After(5 * time.Millisecond):
+		}
 	}
-	fp := a.fp
-	emit(event{Event: "accepted", CacheHit: &hit, Fingerprints: &fp})
-	spec.OnProgress = func(p Progress) {
-		emit(event{Event: "progress", Iter: p.Iter, Residual: p.Residual})
-	}
-	res, err := e.solveOn(r.Context(), a, hit, spec)
-	if err != nil {
-		emit(event{Event: "error", Error: err.Error(), Result: res})
-		return
-	}
-	emit(event{Event: "result", Result: res})
 }
 
 // handleSessionOpen serves POST /v1/sessions.
@@ -201,7 +305,10 @@ func (e *Engine) handleSessionStatus(w http.ResponseWriter, r *http.Request) {
 
 // handleSessionSolve serves POST /v1/sessions/{id}/solve. The request
 // carries only per-solve fields; the tuple comes from the session, so
-// naming scenario/pes/method/nodesize in the body is an error.
+// naming scenario/pes/method/nodesize in the body is an error. Session
+// solves are jobs too (the result carries the job id), but their
+// streams stay connection-bound: resuming a dropped session stream
+// goes through GET /v1/jobs/{id}/events like any other job.
 func (e *Engine) handleSessionSolve(w http.ResponseWriter, r *http.Request) {
 	s, ok := e.Session(r.PathValue("id"))
 	if !ok {

@@ -24,6 +24,8 @@ const (
 	maxRequestDeadlineMS = 24 * 60 * 60 * 1000
 	// maxFaultPlanLen bounds the fault-plan string.
 	maxFaultPlanLen = 4096
+	// maxIdempotencyKeyLen bounds a client-supplied idempotency key.
+	maxIdempotencyKeyLen = 128
 )
 
 // SolveRequest is the wire form of one solve: the session tuple plus
@@ -42,9 +44,23 @@ type SolveRequest struct {
 	MaxIters   int     `json:"max_iters,omitempty"`
 	DeadlineMS int64   `json:"deadline_ms,omitempty"`
 	Faults     string  `json:"faults,omitempty"`
+	// Recovery selects the strategy for plans that kill workers:
+	// "" / "elastic" shrink-and-regrow in place, "migrate" re-dispatch
+	// onto another warm pool worker from the newest checkpoint.
+	Recovery string `json:"recovery,omitempty"`
+	// IdempotencyKey dedups client retries: a second submission with
+	// the same key binds to the first's job instead of re-running.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 	// Stream asks the HTTP layer for chunked newline-delimited JSON
 	// progress events instead of one response document.
 	Stream bool `json:"stream,omitempty"`
+	// FromEvent resumes a streamed solve's event feed at this sequence
+	// number (used with Stream against an already-submitted job).
+	FromEvent int64 `json:"from_event,omitempty"`
+	// Detach makes the HTTP layer answer 202 with the job status
+	// immediately instead of holding the request until the solve ends;
+	// the client polls GET /v1/jobs/{id}.
+	Detach bool `json:"detach,omitempty"`
 }
 
 // split separates a validated request into the session tuple and the
@@ -52,12 +68,14 @@ type SolveRequest struct {
 func (r *SolveRequest) split() (SolveSpec, SessionSpec, error) {
 	sess := SessionSpec{Scenario: r.Scenario, PEs: r.PEs, Method: r.Method, NodeSize: r.NodeSize}
 	spec := SolveSpec{
-		RHSSeed:  r.RHSSeed,
-		Shift:    r.Shift,
-		Tol:      r.Tol,
-		MaxIter:  r.MaxIters,
-		Deadline: time.Duration(r.DeadlineMS) * time.Millisecond,
-		Faults:   r.Faults,
+		RHSSeed:        r.RHSSeed,
+		Shift:          r.Shift,
+		Tol:            r.Tol,
+		MaxIter:        r.MaxIters,
+		Deadline:       time.Duration(r.DeadlineMS) * time.Millisecond,
+		Faults:         r.Faults,
+		Recovery:       r.Recovery,
+		IdempotencyKey: r.IdempotencyKey,
 	}
 	return spec, sess, nil
 }
@@ -124,6 +142,17 @@ func (r *SolveRequest) Validate() error {
 	if len(r.Faults) > maxFaultPlanLen {
 		return fmt.Errorf("%w: fault plan longer than %d bytes", ErrBadRequest, maxFaultPlanLen)
 	}
+	switch r.Recovery {
+	case "", RecoveryElastic, RecoveryMigrate:
+	default:
+		return fmt.Errorf("%w: recovery %q (want %q or %q)", ErrBadRequest, r.Recovery, RecoveryElastic, RecoveryMigrate)
+	}
+	if len(r.IdempotencyKey) > maxIdempotencyKeyLen {
+		return fmt.Errorf("%w: idempotency key longer than %d bytes", ErrBadRequest, maxIdempotencyKeyLen)
+	}
+	if r.FromEvent < 0 {
+		return fmt.Errorf("%w: from_event %d is negative", ErrBadRequest, r.FromEvent)
+	}
 	if r.Faults != "" {
 		plan, err := fault.Parse(r.Faults)
 		if err != nil {
@@ -131,6 +160,12 @@ func (r *SolveRequest) Validate() error {
 		}
 		if err := plan.Validate(r.PEs); err != nil {
 			return fmt.Errorf("%w: %w", ErrBadRequest, err)
+		}
+		if r.Recovery == RecoveryMigrate && plan.Has(fault.Revive) {
+			// Only the elastic supervisor regrows a revived PE; a
+			// migrated job always restarts at full width, so a revive
+			// event has nothing to rejoin.
+			return fmt.Errorf("%w: recovery %q cannot honor revive events (use elastic)", ErrBadRequest, RecoveryMigrate)
 		}
 	}
 	return nil

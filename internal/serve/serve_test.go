@@ -43,7 +43,10 @@ func newTestEngine(t *testing.T, cfg Config) *Engine {
 	if cfg.CheckpointEvery == 0 {
 		cfg.CheckpointEvery = 1
 	}
-	e := NewEngine(cfg)
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
 	t.Cleanup(e.Close)
 	return e
 }

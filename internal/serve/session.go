@@ -2,18 +2,13 @@ package serve
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 	"sync"
 	"time"
 
-	"repro/internal/fault"
 	"repro/internal/par"
-	rec "repro/internal/recover"
-	"repro/internal/regress"
-	"repro/internal/solver"
 )
 
 // SessionSpec names the cached artifacts a session binds to.
@@ -50,6 +45,16 @@ func (s SessionSpec) key(cfg Config) (Key, error) {
 	return Key{Scenario: s.Scenario, P: s.PEs, Method: m, NodeSize: ns}, nil
 }
 
+// Recovery strategies for solves whose fault plan kills workers.
+const (
+	// RecoveryElastic shrinks the partition around the dead PE and
+	// regrows on revive — the PR-8 supervisor, and the default.
+	RecoveryElastic = "elastic"
+	// RecoveryMigrate re-dispatches the job onto another warm pool
+	// worker at full width, resuming from the newest checkpoint.
+	RecoveryMigrate = "migrate"
+)
+
 // SolveSpec is one solve's parameters and budgets.
 type SolveSpec struct {
 	// RHSSeed selects the right-hand side: 0 is the canonical two-point
@@ -68,8 +73,17 @@ type SolveSpec struct {
 	Deadline time.Duration `json:"-"`
 	// Faults arms a fault plan for this solve (the chaos/soak surface).
 	// Plans with kill or revive events run under the elastic-recovery
-	// supervisor; the session survives the faults.
+	// supervisor unless Recovery selects migration.
 	Faults string `json:"faults,omitempty"`
+	// Recovery selects what happens when the plan kills a worker:
+	// "" or RecoveryElastic shrink-and-regrow in place;
+	// RecoveryMigrate moves the job to another warm pool worker,
+	// resuming from its newest checkpoint at full width.
+	Recovery string `json:"recovery,omitempty"`
+	// IdempotencyKey, when set, dedups retried submissions: a second
+	// solve carrying the same key binds to the first's job instead of
+	// running again.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 	// OnProgress, when non-nil, receives residual progress at every
 	// checkpoint boundary (the HTTP layer streams these as events).
 	OnProgress func(Progress) `json:"-"`
@@ -83,6 +97,9 @@ type Progress struct {
 
 // SolveResult reports one served solve.
 type SolveResult struct {
+	// JobID names the durable job that produced this result; poll it at
+	// GET /v1/jobs/{id} for attempts, migrations, and checkpoint state.
+	JobID      string  `json:"job_id,omitempty"`
 	Iterations int     `json:"iterations"`
 	Residual   float64 `json:"residual"`
 	Converged  bool    `json:"converged"`
@@ -97,7 +114,9 @@ type SolveResult struct {
 	// request's when a kill shrank the partition and no revive grew it
 	// back.
 	Width int `json:"width"`
-	// Elastic-recovery outcome of a faulted solve.
+	// Elastic-recovery outcome of a faulted solve. Migrations counts
+	// both supervisor-internal migrations and whole-worker job
+	// migrations on the RecoveryMigrate path.
 	Shrinks    int   `json:"shrinks,omitempty"`
 	Grows      int   `json:"grows,omitempty"`
 	Migrations int   `json:"migrations,omitempty"`
@@ -129,6 +148,7 @@ type Session struct {
 	closed       bool
 	solves       int
 	active       int
+	migrations   int
 	lastIter     int
 	lastResidual float64
 	lastError    string
@@ -143,11 +163,15 @@ type Status struct {
 	OpenedAt     time.Time    `json:"opened_at"`
 	Solves       int          `json:"solves"`
 	Active       int          `json:"active"`
-	WarmWorkers  int          `json:"warm_workers"`
-	LastIter     int          `json:"last_iterations,omitempty"`
-	LastResidual float64      `json:"last_residual,omitempty"`
-	LastError    string       `json:"last_error,omitempty"`
-	Closed       bool         `json:"closed,omitempty"`
+	// Migrations is the total migration count across the session's
+	// solves: supervisor PE migrations plus whole-worker job
+	// migrations.
+	Migrations   int     `json:"migrations,omitempty"`
+	WarmWorkers  int     `json:"warm_workers"`
+	LastIter     int     `json:"last_iterations,omitempty"`
+	LastResidual float64 `json:"last_residual,omitempty"`
+	LastError    string  `json:"last_error,omitempty"`
+	Closed       bool    `json:"closed,omitempty"`
 }
 
 // ID returns the session's engine-unique identifier.
@@ -172,6 +196,7 @@ func (s *Session) Status() Status {
 		OpenedAt:     s.opened,
 		Solves:       s.solves,
 		Active:       s.active,
+		Migrations:   s.migrations,
 		WarmWorkers:  s.art.Warm(),
 		LastIter:     s.lastIter,
 		LastResidual: s.lastResidual,
@@ -192,13 +217,14 @@ func (s *Session) Solve(ctx context.Context, spec SolveSpec) (*SolveResult, erro
 	s.solves++
 	s.mu.Unlock()
 
-	res, err := s.eng.solveOn(ctx, s.art, true, spec)
+	res, err := s.eng.solveOn(ctx, s.art, true, spec, nil)
 
 	s.mu.Lock()
 	s.active--
 	if res != nil {
 		s.lastIter = res.Iterations
 		s.lastResidual = res.Residual
+		s.migrations += res.Migrations
 	}
 	if err != nil {
 		s.lastError = err.Error()
@@ -224,193 +250,6 @@ func (s *Session) Close() error {
 	s.eng.mu.Unlock()
 	sessionsClosed.Add(1)
 	return nil
-}
-
-// solveOn is the shared solve path: admission, budgets, worker
-// checkout, plain or supervised CG, certification, pool return.
-func (e *Engine) solveOn(ctx context.Context, a *artifact, hit bool, spec SolveSpec) (*SolveResult, error) {
-	var plan *fault.Plan
-	if spec.Faults != "" {
-		var err error
-		if plan, err = fault.Parse(spec.Faults); err != nil {
-			return nil, fmt.Errorf("%w: fault plan: %w", ErrBadRequest, err)
-		}
-	}
-
-	release, err := e.admit(ctx)
-	if err != nil {
-		if errors.Is(err, ErrBusy) {
-			return nil, err
-		}
-		solvesCanceled.Add(1)
-		return nil, fmt.Errorf("serve: %w while queued: %w", ErrCanceled, err)
-	}
-	defer release()
-	if hold := e.holdSolve; hold != nil {
-		hold()
-	}
-
-	// Budgets: iteration cap and wall deadline, both clamped to the
-	// engine limits. The deadline fires through ctx at checkpoint
-	// boundaries, leaving the worker healthy.
-	n := 3 * a.mesh.NumNodes()
-	maxIter := spec.MaxIter
-	if maxIter <= 0 || maxIter > e.cfg.MaxIter {
-		maxIter = e.cfg.MaxIter
-	}
-	if def := 4 * n; spec.MaxIter <= 0 && def < maxIter {
-		maxIter = def
-	}
-	deadline := spec.Deadline
-	if deadline <= 0 || deadline > e.cfg.MaxDeadline {
-		deadline = e.cfg.MaxDeadline
-	}
-	ctx, cancel := context.WithTimeout(ctx, deadline)
-	defer cancel()
-	tol := spec.Tol
-	if tol <= 0 {
-		tol = 1e-8
-	}
-	shift := spec.Shift
-	if shift <= 0 {
-		shift = 20
-	}
-
-	w, err := a.checkout()
-	if err != nil {
-		solvesFailed.Add(1)
-		return nil, err
-	}
-
-	b := rhsFor(spec.RHSSeed, n)
-	x := make([]float64, n)
-	normB := norm2(b)
-	emit := func(st *solver.State) {
-		if slow := e.slowCheckpoint; slow != nil {
-			slow(st.Iter)
-		}
-		if spec.OnProgress == nil {
-			return
-		}
-		rel := norm2(st.R)
-		if normB > 0 {
-			rel /= normB
-		}
-		streamEvents.Add(1)
-		spec.OnProgress(Progress{Iter: st.Iter, Residual: rel})
-	}
-
-	scfg := solver.Config{
-		MaxIter:         maxIter,
-		Tol:             tol,
-		Workspace:       w.ws,
-		CheckpointEvery: e.cfg.CheckpointEvery,
-		OnCheckpoint:    emit,
-	}
-
-	res := &SolveResult{CacheHit: hit, Fingerprints: a.fp, Width: a.part.P}
-	start := time.Now()
-	finish := func(sr *solver.Result, d *par.Dist) {
-		if sr != nil {
-			res.Iterations = sr.Iterations
-			res.Residual = sr.Residual
-			res.Converged = sr.Converged
-		}
-		res.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
-		if d != nil {
-			certify(res, d, shift, a.massNode, b, x, normB)
-		}
-		res.SolutionFP = regress.Vector(x)
-		res.SolutionNorm = norm2(x)
-	}
-
-	if plan == nil {
-		// Plain path: deadline cancellation rides the solver's
-		// checkpoint Interrupt hook; the worker stays healthy.
-		scfg.Interrupt = func(int) bool { return ctx.Err() != nil }
-		op := par.Operator{D: w.dist, Shift: shift, MassNode: a.massNode}
-		sr, serr := solver.CG(op, b, x, scfg)
-		switch {
-		case serr == nil:
-			finish(sr, w.dist)
-			a.release(w, true)
-			solvesOK.Add(1)
-			return res, nil
-		case errors.Is(serr, solver.ErrInterrupted):
-			res.Canceled = true
-			finish(sr, nil)
-			a.release(w, true)
-			solvesCanceled.Add(1)
-			return res, fmt.Errorf("serve: %w: %w", ErrCanceled, ctx.Err())
-		default:
-			finish(sr, nil)
-			a.release(w, false)
-			solvesFailed.Add(1)
-			return res, fmt.Errorf("serve: solve failed: %w", serr)
-		}
-	}
-
-	// Faulted path: the elastic-recovery supervisor owns the injector
-	// and absorbs kill→shrink→revive→grow transitions; the wall
-	// deadline rides its Stop hook. The supervisor may rebuild the
-	// operator — the worker's original Dist is then already closed and
-	// the rebuilt one is certified and discarded, so the pool
-	// replenishes from the canonical cached artifacts.
-	solvesSupervise.Add(1)
-	sys := &rec.System{
-		Mesh: a.mesh, Material: a.mat, Part: a.part,
-		Shift: shift, MassNode: a.massNode, NodeOf: a.nodeOf,
-	}
-	out, serr := rec.Supervise(w.dist, sys, b, x, rec.SuperviseConfig{
-		Solver: scfg,
-		Plan:   plan,
-		Stop:   func() bool { return ctx.Err() != nil },
-	})
-	var final *par.Dist
-	healthy := false
-	if out != nil {
-		res.Shrinks = out.Shrinks
-		res.Grows = out.Grows
-		res.Migrations = out.Migrations
-		res.DeadPEs = out.DeadPEs
-		res.RevivedPEs = out.RevivedPEs
-		if out.Part != nil {
-			res.Width = out.Part.P
-		}
-		final = out.Dist
-		healthy = out.Dist == w.dist && serr == nil
-	}
-	var sr *solver.Result
-	if out != nil {
-		sr = out.Result
-	}
-	switch {
-	case serr == nil:
-		finish(sr, final)
-		a.release(w, healthy)
-		if final != nil && final != w.dist {
-			final.Close()
-		}
-		solvesOK.Add(1)
-		return res, nil
-	case errors.Is(serr, solver.ErrInterrupted):
-		res.Canceled = true
-		finish(sr, nil)
-		a.release(w, final == w.dist)
-		if final != nil && final != w.dist {
-			final.Close()
-		}
-		solvesCanceled.Add(1)
-		return res, fmt.Errorf("serve: %w: %w", ErrCanceled, ctx.Err())
-	default:
-		finish(sr, nil)
-		a.release(w, false)
-		if final != nil && final != w.dist {
-			final.Close()
-		}
-		solvesFailed.Add(1)
-		return res, fmt.Errorf("serve: supervised solve failed: %w", serr)
-	}
 }
 
 // certify re-verifies a finished solve with one independent operator
